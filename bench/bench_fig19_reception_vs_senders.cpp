@@ -1,0 +1,61 @@
+// Figure 19 (§5.6): per-receiver probability of catching a virtual
+// packet's header or trailer, as a function of the number of concurrent
+// senders. Paper: the median stays roughly flat, while the 10th
+// percentile drops sharply — a small fraction of receivers cannot run the
+// conflict-map machinery under heavy concurrency.
+#include "bench_util.h"
+
+using namespace cmap;
+using namespace cmap::bench;
+
+int main() {
+  const Scale s = load_scale();
+  const int runs_per_k =
+      static_cast<int>(env_long("CMAP_BENCH_CONFIGS", s.full ? 10 : 5));
+  print_header("Figure 19: header|trailer reception vs concurrent senders",
+               "median flat; 10th percentile drops with concurrency", s);
+
+  testbed::Testbed tb({.seed = s.seed});
+  testbed::TopologyPicker picker(tb);
+  const auto links = picker.potential_links();
+
+  std::printf("%-3s %-6s %-6s %-6s %-6s %-6s\n", "k", "mean", "p10", "p25",
+              "median", "p75");
+  for (int k = 2; k <= 7; ++k) {
+    stats::Distribution d;
+    sim::Rng rng(s.seed * 31 + k);
+    for (int run = 0; run < runs_per_k; ++run) {
+      // k concurrent flows over disjoint node sets.
+      std::vector<testbed::Flow> flows;
+      std::vector<phy::NodeId> used;
+      int guard = 0;
+      while (static_cast<int>(flows.size()) < k && guard++ < 4000) {
+        const auto& [a, b] = links[rng.uniform_int(
+            0, static_cast<std::int64_t>(links.size()) - 1)];
+        bool clash = false;
+        for (phy::NodeId u : used) clash = clash || u == a || u == b;
+        if (clash) continue;
+        flows.push_back({a, b});
+        used.push_back(a);
+        used.push_back(b);
+      }
+      if (static_cast<int>(flows.size()) < k) continue;
+      testbed::RunConfig rc = make_run_config(s, testbed::Scheme::kCmap);
+      rc.seed += static_cast<std::uint64_t>(run) * 37;
+      const auto result = testbed::run_flows(tb, flows, rc);
+      for (const auto& f : result.flows) {
+        if (f.vps_sent == 0) continue;
+        d.add(static_cast<double>(f.rx_vps_delim) /
+              static_cast<double>(f.vps_sent));
+      }
+    }
+    if (d.empty()) {
+      std::printf("%-3d (no samples)\n", k);
+      continue;
+    }
+    std::printf("%-3d %-6.3f %-6.3f %-6.3f %-6.3f %-6.3f\n", k, d.mean(),
+                d.percentile(10), d.percentile(25), d.median(),
+                d.percentile(75));
+  }
+  return 0;
+}

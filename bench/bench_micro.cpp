@@ -1,0 +1,113 @@
+// Micro-benchmarks of the hot paths: event queue churn, SINR chunking,
+// error-model evaluation, defer-table lookups, and full testbed
+// construction (the measurement pass dominates experiment startup).
+#include <benchmark/benchmark.h>
+
+#include "core/defer_table.h"
+#include "phy/error_model.h"
+#include "phy/interference.h"
+#include "phy/units.h"
+#include "sim/simulator.h"
+#include "testbed/testbed.h"
+
+namespace {
+
+using namespace cmap;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.at(i, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) ids.push_back(s.at(i, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) ids[i].cancel();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_NistErrorModel(benchmark::State& state) {
+  phy::NistErrorModel m;
+  double sinr = phy::db_to_linear(3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.chunk_success(sinr, 11200, phy::WifiRate::k6Mbps));
+    sinr *= 1.0000001;
+  }
+}
+BENCHMARK(BM_NistErrorModel);
+
+void BM_InterferenceEvaluate(benchmark::State& state) {
+  const int n_interferers = static_cast<int>(state.range(0));
+  phy::InterferenceTracker t(phy::dbm_to_mw(-94.0));
+  phy::NistErrorModel model;
+  auto mk = [](std::uint64_t id, std::size_t bytes) {
+    phy::Frame f;
+    f.id = id;
+    f.segments = {{phy::SegmentKind::kWhole, bytes}};
+    return std::make_shared<const phy::Frame>(std::move(f));
+  };
+  phy::Signal target;
+  target.frame = mk(1, 1400);
+  target.power_mw = phy::dbm_to_mw(-70.0);
+  target.start = 0;
+  target.end = 1'892'000;
+  t.add(target);
+  for (int i = 0; i < n_interferers; ++i) {
+    phy::Signal s;
+    s.frame = mk(2 + i, 1400);
+    s.power_mw = phy::dbm_to_mw(-85.0);
+    s.start = 100'000 * (i + 1);
+    s.end = s.start + 900'000;
+    t.add(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.evaluate(1, 0, 1'892'000, 11200,
+                                        phy::WifiRate::k6Mbps, model, 1.0));
+  }
+}
+BENCHMARK(BM_InterferenceEvaluate)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_DeferTableLookup(benchmark::State& state) {
+  const int n_entries = static_cast<int>(state.range(0));
+  core::DeferTable t(sim::seconds(1000));
+  for (int i = 0; i < n_entries; ++i) {
+    core::InterfererEntry e;
+    e.source = 1;  // rule 1 applies at node 1
+    e.interferer = 100 + i;
+    t.apply_interferer_list(1, 2, {e}, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.should_defer(2, 100, 7, 1));
+    benchmark::DoNotOptimize(t.should_defer(9, 100 + n_entries - 1, 7, 1));
+  }
+}
+BENCHMARK(BM_DeferTableLookup)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_TestbedConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    testbed::TestbedConfig cfg;
+    cfg.num_nodes = static_cast<int>(state.range(0));
+    testbed::Testbed tb(cfg);
+    benchmark::DoNotOptimize(tb.mean_degree());
+  }
+}
+BENCHMARK(BM_TestbedConstruction)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Shared plumbing for the figure-reproduction benches: environment-driven
+// scaling, common run helpers, and table/CDF printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+#include "testbed/experiment.h"
+#include "testbed/topology_picker.h"
+
+namespace cmap::bench {
+
+struct Scale {
+  sim::Time duration = sim::seconds(20);
+  sim::Time warmup = sim::seconds(8);
+  int configs = 16;
+  std::uint64_t seed = 1;
+  bool full = false;
+};
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+/// Reads CMAP_BENCH_* knobs; CMAP_BENCH_FULL=1 selects paper scale
+/// (100-second runs measured over the last 60, 50 configurations).
+inline Scale load_scale() {
+  Scale s;
+  s.full = env_long("CMAP_BENCH_FULL", 0) != 0;
+  if (s.full) {
+    s.duration = sim::seconds(100);
+    s.warmup = sim::seconds(40);
+    s.configs = 50;
+  }
+  const long secs = env_long("CMAP_BENCH_SECONDS", 0);
+  if (secs > 0) {
+    s.duration = sim::seconds(static_cast<double>(secs));
+    s.warmup = s.duration * 2 / 5;
+  }
+  s.configs = static_cast<int>(env_long("CMAP_BENCH_CONFIGS", s.configs));
+  s.seed = static_cast<std::uint64_t>(env_long("CMAP_BENCH_SEED", 1));
+  return s;
+}
+
+inline testbed::RunConfig make_run_config(const Scale& s,
+                                          testbed::Scheme scheme) {
+  testbed::RunConfig rc;
+  rc.scheme = scheme;
+  rc.duration = s.duration;
+  rc.warmup = s.warmup;
+  rc.seed = s.seed * 7919 + static_cast<std::uint64_t>(scheme);
+  return rc;
+}
+
+/// Aggregate goodput (Mbit/s) of both flows of a link pair under `scheme`.
+inline double pair_aggregate_mbps(const testbed::Testbed& tb,
+                                  const testbed::LinkPair& p,
+                                  const Scale& s, testbed::Scheme scheme) {
+  const std::vector<testbed::Flow> flows = {{p.s1, p.r1}, {p.s2, p.r2}};
+  return testbed::run_flows(tb, flows, make_run_config(s, scheme))
+      .aggregate_mbps;
+}
+
+inline void print_header(const char* figure, const char* paper_claim,
+                         const Scale& s) {
+  std::printf("== %s ==\n", figure);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf(
+      "scale: %.0f s runs (measure last %.0f s), %d configs, seed %llu%s\n",
+      sim::to_seconds(s.duration), sim::to_seconds(s.duration - s.warmup),
+      s.configs, static_cast<unsigned long long>(s.seed),
+      s.full ? " [FULL]" : "");
+}
+
+inline void print_cdf(const char* name, const stats::Distribution& d) {
+  if (d.empty()) {
+    std::printf("%-16s (no samples)\n", name);
+    return;
+  }
+  std::printf(
+      "%-16s n=%-3zu p10=%6.2f p25=%6.2f median=%6.2f p75=%6.2f p90=%6.2f "
+      "mean=%6.2f\n",
+      name, d.count(), d.percentile(10), d.percentile(25), d.median(),
+      d.percentile(75), d.percentile(90), d.mean());
+}
+
+}  // namespace cmap::bench

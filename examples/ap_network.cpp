@@ -1,0 +1,55 @@
+// A §5.6-style wireless LAN on the simulated 50-node testbed: N access
+// points in distinct regions, one saturated AP<->client flow per cell,
+// compared across 802.11 and CMAP.
+//
+// Usage: ap_network [n_aps=4] [seconds=20] [seed=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "testbed/experiment.h"
+#include "testbed/topology_picker.h"
+
+using namespace cmap;
+
+int main(int argc, char** argv) {
+  const int n_aps = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 20.0;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 1;
+
+  testbed::Testbed tb({.seed = seed});
+  testbed::TopologyPicker picker(tb);
+  sim::Rng rng(seed);
+  const auto scenario = picker.ap_scenario(n_aps, rng);
+  if (!scenario) {
+    std::printf("no %d-AP scenario exists in this building (seed %llu)\n",
+                n_aps, static_cast<unsigned long long>(seed));
+    return 1;
+  }
+
+  std::printf("WLAN with %d cells (seed %llu):\n", n_aps,
+              static_cast<unsigned long long>(seed));
+  std::vector<testbed::Flow> flows;
+  for (const auto& cell : scenario->cells) {
+    std::printf("  AP %2u at (%4.1f, %4.1f)  client %2u  %s\n", cell.ap,
+                tb.position(cell.ap).x, tb.position(cell.ap).y, cell.client,
+                cell.downlink ? "downlink" : "uplink");
+    flows.push_back({cell.sender(), cell.receiver()});
+  }
+
+  for (auto scheme : {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+                      testbed::Scheme::kCmap}) {
+    testbed::RunConfig rc;
+    rc.scheme = scheme;
+    rc.duration = sim::seconds(seconds);
+    rc.warmup = rc.duration * 2 / 5;
+    rc.seed = seed;
+    const auto result = run_flows(tb, flows, rc);
+    std::printf("\n%-14s aggregate %6.2f Mbit/s  per-flow:",
+                scheme_name(scheme), result.aggregate_mbps);
+    for (const auto& f : result.flows) std::printf(" %5.2f", f.mbps);
+    std::printf("\n");
+  }
+  std::printf("\nPaper (§5.6): CMAP beats the status quo by 21%%..47%% on "
+              "aggregate in such topologies.\n");
+  return 0;
+}

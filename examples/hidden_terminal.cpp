@@ -1,0 +1,61 @@
+// Hidden terminals (§5.5): two senders that cannot hear each other share a
+// pair of receivers. The conflict map cannot help (no headers to overhear)
+// — CMAP's loss-rate backoff is what prevents a meltdown. This example
+// shows the backoff state machine reacting.
+//
+// Usage: hidden_terminal [seconds=20] [seed=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "testbed/experiment.h"
+#include "testbed/topology_picker.h"
+
+using namespace cmap;
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 20.0;
+  const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 1;
+
+  testbed::Testbed tb({.seed = seed});
+  testbed::TopologyPicker picker(tb);
+  sim::Rng rng(seed ^ 0x15);
+  const auto pairs = picker.hidden_pairs(1, rng);
+  if (pairs.empty()) {
+    std::printf("no hidden-terminal configuration found (seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  const auto& p = pairs[0];
+  std::printf("hidden pair: %u->%u and %u->%u "
+              "(senders cannot hear each other: PRR %0.2f / %0.2f)\n\n",
+              p.s1, p.r1, p.s2, p.r2, tb.prr(p.s1, p.s2), tb.prr(p.s2, p.s1));
+
+  for (auto scheme : {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+                      testbed::Scheme::kCmap}) {
+    testbed::RunConfig rc;
+    rc.scheme = scheme;
+    rc.duration = sim::seconds(seconds);
+    rc.warmup = rc.duration * 2 / 5;
+    rc.seed = seed;
+
+    testbed::World world(tb, rc);
+    world.add_saturated_flow(p.s1, p.r1);
+    world.add_saturated_flow(p.s2, p.r2);
+    world.run(rc.duration);
+    const double t1 = world.sink(p.r1).meter().mbps();
+    const double t2 = world.sink(p.r2).meter().mbps();
+    std::printf("%-14s flow1 %5.2f  flow2 %5.2f  total %5.2f Mbit/s",
+                scheme_name(scheme), t1, t2, t1 + t2);
+    if (auto* cm = world.cmap(p.s1)) {
+      std::printf("  [CW now %lld ms, %llu window timeouts]",
+                  static_cast<long long>(
+                      sim::to_milliseconds(cm->loss_backoff().cw())),
+                  static_cast<unsigned long long>(
+                      cm->counters().retx_timeouts));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper (§5.5): CMAP performs comparably to 802.11 here — the "
+              "loss-rate backoff absorbs what the conflict map cannot see.\n");
+  return 0;
+}

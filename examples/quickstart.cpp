@@ -1,0 +1,80 @@
+// Quickstart: build a two-pair exposed-terminal scenario by hand and watch
+// CMAP double the aggregate throughput relative to 802.11 carrier sense.
+//
+// This walks the public API bottom-up: simulator -> medium -> radios ->
+// MACs -> traffic, without the testbed harness.
+#include <cstdio>
+#include <memory>
+
+#include "core/cmap_mac.h"
+#include "mac80211/dcf.h"
+#include "net/traffic.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+
+using namespace cmap;
+
+namespace {
+
+// Classic exposed-terminal geometry: the two senders hear each other, but
+// each receiver is far from the other sender.
+//
+//      B <--- A        X ---> Y
+//     (5m)      (15m gap)      (5m)
+constexpr phy::Position kA{5, 0}, kB{0, 0}, kX{20, 0}, kY{25, 0};
+
+template <typename MacT, typename MacConfigT>
+double run_scheme(const char* name, MacConfigT mac_config) {
+  sim::Simulator simulator;
+  phy::MediumConfig mcfg;
+  mcfg.fading_sigma_db = 0.0;
+  phy::Medium medium(simulator, std::make_shared<phy::FriisPropagation>(),
+                     mcfg, sim::Rng(7));
+  auto error_model = std::make_shared<phy::NistErrorModel>();
+
+  auto make_radio = [&](phy::NodeId id, phy::Position pos) {
+    return std::make_unique<phy::Radio>(simulator, medium, id, pos,
+                                        phy::RadioConfig{}, error_model,
+                                        sim::Rng(100 + id));
+  };
+  auto ra = make_radio(1, kA), rb = make_radio(2, kB);
+  auto rx = make_radio(3, kX), ry = make_radio(4, kY);
+
+  auto make_mac = [&](phy::Radio& r) {
+    return std::make_unique<MacT>(simulator, r, mac_config,
+                                  sim::Rng(200 + r.id()));
+  };
+  auto ma = make_mac(*ra), mb = make_mac(*rb);
+  auto mx = make_mac(*rx), my = make_mac(*ry);
+
+  net::PacketSink sink_b(*mb, simulator), sink_y(*my, simulator);
+  const sim::Time duration = sim::seconds(5);
+  sink_b.set_window(sim::seconds(1), duration);
+  sink_y.set_window(sim::seconds(1), duration);
+
+  net::SaturatedSource flow1(*ma, 1, 2);
+  net::SaturatedSource flow2(*mx, 3, 4);
+
+  simulator.run_until(duration);
+  const double total = sink_b.meter().mbps() + sink_y.meter().mbps();
+  std::printf("%-22s A->B %5.2f Mbit/s   X->Y %5.2f Mbit/s   total %5.2f\n",
+              name, sink_b.meter().mbps(), sink_y.meter().mbps(), total);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Exposed terminals, two concurrent flows, 6 Mbit/s PHY:\n\n");
+
+  mac80211::DcfConfig csma;  // defaults: carrier sense + ACKs
+  const double cs = run_scheme<mac80211::DcfMac>("802.11 (CS, acks)", csma);
+
+  core::CmapConfig cmap;  // paper §4.2 defaults
+  const double cm = run_scheme<core::CmapMac>("CMAP", cmap);
+
+  std::printf("\nCMAP/802.11 aggregate gain: %.2fx  (paper: ~2x)\n", cm / cs);
+  std::printf("Carrier sense serialized the senders; CMAP's conflict map\n"
+              "found no conflict and let both transmit concurrently.\n");
+  return 0;
+}

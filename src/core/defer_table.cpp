@@ -1,0 +1,80 @@
+#include "core/defer_table.h"
+
+#include <algorithm>
+
+namespace cmap::core {
+
+bool DeferTable::rate_matches(phy::WifiRate entry_rate, phy::WifiRate rate) {
+  return entry_rate == kAnyRate || rate == kAnyRate || entry_rate == rate;
+}
+
+void DeferTable::upsert(DeferEntry e) {
+  for (auto& existing : entries_) {
+    if (existing.dst == e.dst && existing.src == e.src &&
+        existing.via == e.via && existing.my_rate == e.my_rate &&
+        existing.their_rate == e.their_rate) {
+      existing.expires = e.expires;  // refresh
+      return;
+    }
+  }
+  entries_.push_back(e);
+}
+
+void DeferTable::apply_interferer_list(
+    phy::NodeId self, phy::NodeId reporter,
+    const std::vector<InterfererEntry>& entries, sim::Time now) {
+  for (const auto& il : entries) {
+    DeferEntry e;
+    e.expires = now + ttl_;
+    if (annotate_rates_) {
+      e.my_rate = il.source_rate;
+      e.their_rate = il.interferer_rate;
+    }
+    if (il.source == self) {
+      // Rule 1: my transmissions to the reporter lose to il.interferer.
+      e.dst = reporter;
+      e.src = il.interferer;
+      e.via = phy::kBroadcastId;
+      upsert(e);
+    }
+    if (il.interferer == self) {
+      // Rule 2: my transmissions to anyone trample il.source -> reporter.
+      e.dst = phy::kBroadcastId;
+      e.src = il.source;
+      e.via = reporter;
+      // The roles flip: when deferring, *my* rate is the interferer rate.
+      if (annotate_rates_) {
+        e.my_rate = il.interferer_rate;
+        e.their_rate = il.source_rate;
+      }
+      upsert(e);
+    }
+  }
+}
+
+bool DeferTable::should_defer(phy::NodeId my_dst, phy::NodeId p,
+                              phy::NodeId q, sim::Time now,
+                              phy::WifiRate my_rate,
+                              phy::WifiRate their_rate) const {
+  for (const auto& e : entries_) {
+    if (e.expires <= now) continue;
+    if (!rate_matches(e.my_rate, my_rate) ||
+        !rate_matches(e.their_rate, their_rate)) {
+      continue;
+    }
+    // Defer pattern 1: (* : p -> q).
+    if (e.dst == phy::kBroadcastId && e.src == p && e.via == q) return true;
+    // Defer pattern 2: (v : p -> *).
+    if (e.dst == my_dst && e.src == p && e.via == phy::kBroadcastId) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DeferTable::expire(sim::Time now) {
+  std::erase_if(entries_,
+                [now](const DeferEntry& e) { return e.expires <= now; });
+}
+
+}  // namespace cmap::core

@@ -1,0 +1,66 @@
+// The defer table — this node's slice of the network-wide conflict map
+// (§3.1). Populated from neighbours' interferer lists via two local rules,
+// consulted before every transmission via two defer patterns:
+//
+//   Update rule 1: for (me, q) in I_r  ->  add (r : q -> *)
+//     "don't send to r while q is transmitting to anyone"
+//   Update rule 2: for (q, me) in I_r  ->  add (* : q -> r)
+//     "don't send to anyone while q is transmitting to r"
+//
+//   Defer pattern 1: (* : p -> q)   matches ongoing p -> q
+//   Defer pattern 2: (v : p -> *)   matches destination v, ongoing sender p
+//
+// Entries age out (defer_entry_ttl) so the map tracks changing channels.
+// With rate annotation enabled (§3.5) entries only match transmissions at
+// the rates under which the conflict was observed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wire.h"
+#include "phy/types.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+struct DeferEntry {
+  phy::NodeId dst;     // v, or kBroadcastId for "*"
+  phy::NodeId src;     // q/p: the transmitting node to defer to
+  phy::NodeId via;     // its destination, or kBroadcastId for "*"
+  phy::WifiRate my_rate = kAnyRate;       // §3.5 annotation
+  phy::WifiRate their_rate = kAnyRate;    // §3.5 annotation
+  sim::Time expires = 0;
+};
+
+class DeferTable {
+ public:
+  explicit DeferTable(sim::Time ttl, bool annotate_rates = false)
+      : ttl_(ttl), annotate_rates_(annotate_rates) {}
+
+  /// Apply both update rules for an interferer list received from
+  /// `reporter`. `self` is this node's id.
+  void apply_interferer_list(phy::NodeId self, phy::NodeId reporter,
+                             const std::vector<InterfererEntry>& entries,
+                             sim::Time now);
+
+  /// Should a transmission to `my_dst` at `my_rate` defer to the ongoing
+  /// transmission p -> q at `their_rate`? Checks both defer patterns.
+  bool should_defer(phy::NodeId my_dst, phy::NodeId p, phy::NodeId q,
+                    sim::Time now, phy::WifiRate my_rate = kAnyRate,
+                    phy::WifiRate their_rate = kAnyRate) const;
+
+  void expire(sim::Time now);
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<DeferEntry>& entries() const { return entries_; }
+
+ private:
+  void upsert(DeferEntry e);
+  static bool rate_matches(phy::WifiRate entry_rate, phy::WifiRate rate);
+
+  sim::Time ttl_;
+  bool annotate_rates_;
+  std::vector<DeferEntry> entries_;
+};
+
+}  // namespace cmap::core

@@ -1,0 +1,79 @@
+#include "core/interferer_tracker.h"
+
+#include <cmath>
+
+namespace cmap::core {
+
+void InterfererTracker::decay(Stat& s, sim::Time now) const {
+  if (s.last_decay == 0) {
+    s.last_decay = now;
+    return;
+  }
+  const double dt = sim::to_seconds(now - s.last_decay);
+  if (dt <= 0) return;
+  const double factor =
+      std::exp2(-dt / sim::to_seconds(halflife_));
+  s.expected *= factor;
+  s.lost *= factor;
+  s.last_decay = now;
+}
+
+void InterfererTracker::observe(phy::NodeId sender, phy::WifiRate sender_rate,
+                                const std::vector<phy::NodeId>& concurrent,
+                                const std::vector<phy::WifiRate>& rates,
+                                bool received, sim::Time now) {
+  if (concurrent.empty()) {
+    Stat& b = baseline_[sender];
+    decay(b, now);
+    b.expected += 1.0;
+    if (!received) b.lost += 1.0;
+    return;
+  }
+  for (std::size_t i = 0; i < concurrent.size(); ++i) {
+    Stat& s = pair_stats_[key(sender, concurrent[i])];
+    decay(s, now);
+    s.expected += 1.0;
+    if (!received) s.lost += 1.0;
+    s.sender_rate = sender_rate;
+    s.interferer_rate = i < rates.size() ? rates[i] : kAnyRate;
+  }
+}
+
+std::vector<InterfererEntry> InterfererTracker::snapshot(sim::Time now) const {
+  std::vector<InterfererEntry> out;
+  for (const auto& [k, s] : pair_stats_) {
+    // Peek with decay applied but without mutating (const snapshot).
+    double expected = s.expected;
+    double lost = s.lost;
+    if (s.last_decay != 0 && now > s.last_decay) {
+      const double factor = std::exp2(
+          -sim::to_seconds(now - s.last_decay) / sim::to_seconds(halflife_));
+      expected *= factor;
+      lost *= factor;
+    }
+    if (expected < static_cast<double>(min_samples_)) continue;
+    if (lost / expected <= l_interf_) continue;
+    InterfererEntry e;
+    e.source = static_cast<phy::NodeId>(k >> 32);
+    e.interferer = static_cast<phy::NodeId>(k & 0xffffffffull);
+    e.source_rate = s.sender_rate;
+    e.interferer_rate = s.interferer_rate;
+    out.push_back(e);
+  }
+  return out;
+}
+
+double InterfererTracker::loss_rate(phy::NodeId sender,
+                                    phy::NodeId interferer) const {
+  auto it = pair_stats_.find(key(sender, interferer));
+  if (it == pair_stats_.end() || it->second.expected <= 0.0) return -1.0;
+  return it->second.lost / it->second.expected;
+}
+
+double InterfererTracker::baseline_loss_rate(phy::NodeId sender) const {
+  auto it = baseline_.find(sender);
+  if (it == baseline_.end() || it->second.expected <= 0.0) return -1.0;
+  return it->second.lost / it->second.expected;
+}
+
+}  // namespace cmap::core

@@ -1,0 +1,68 @@
+// Receiver-side conflict inference (§3.1): for each (sender u, interferer
+// x) pair, track how packets from u fare when x is concurrently on the air.
+// When the conditional loss rate crosses l_interf with enough evidence,
+// (u, x) enters this receiver's interferer list, which is periodically
+// broadcast. Counters decay exponentially so stale conflicts age out as
+// channel conditions change.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/wire.h"
+#include "phy/types.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+class InterfererTracker {
+ public:
+  InterfererTracker(double l_interf, int min_samples, sim::Time halflife)
+      : l_interf_(l_interf),
+        min_samples_(min_samples),
+        halflife_(halflife) {}
+
+  /// Record the fate of one expected data packet from `sender` whose
+  /// airtime overlapped transmissions from each node in `concurrent`
+  /// (rates parallel to `concurrent`). A packet with no concurrent foreign
+  /// transmission contributes to the baseline only.
+  void observe(phy::NodeId sender, phy::WifiRate sender_rate,
+               const std::vector<phy::NodeId>& concurrent,
+               const std::vector<phy::WifiRate>& rates, bool received,
+               sim::Time now);
+
+  /// Pairs currently over the interference threshold — the interferer list
+  /// I_v this receiver broadcasts.
+  std::vector<InterfererEntry> snapshot(sim::Time now) const;
+
+  /// Conditional loss rate for (sender, interferer), or -1 if unseen.
+  double loss_rate(phy::NodeId sender, phy::NodeId interferer) const;
+
+  /// Unconditional (no known interferer) loss rate for `sender`, -1 if
+  /// unseen.
+  double baseline_loss_rate(phy::NodeId sender) const;
+
+ private:
+  struct Stat {
+    double expected = 0.0;
+    double lost = 0.0;
+    sim::Time last_decay = 0;
+    phy::WifiRate sender_rate = kAnyRate;
+    phy::WifiRate interferer_rate = kAnyRate;
+  };
+  using Key = std::uint64_t;  // (sender << 32) | interferer
+  static Key key(phy::NodeId sender, phy::NodeId interferer) {
+    return (static_cast<Key>(sender) << 32) | interferer;
+  }
+
+  void decay(Stat& s, sim::Time now) const;
+
+  double l_interf_;
+  int min_samples_;
+  sim::Time halflife_;
+  std::unordered_map<Key, Stat> pair_stats_;
+  std::unordered_map<phy::NodeId, Stat> baseline_;
+};
+
+}  // namespace cmap::core

@@ -1,0 +1,24 @@
+#include "core/loss_backoff.h"
+
+#include <algorithm>
+
+namespace cmap::core {
+
+void LossBackoff::on_ack_loss_rate(double loss_rate) {
+  if (loss_rate <= l_backoff_) {
+    cw_ = 0;
+    return;
+  }
+  if (cw_ == 0) {
+    cw_ = cw_start_;
+  } else if (cw_ < cw_max_) {
+    cw_ = std::min(2 * cw_, cw_max_);
+  }
+}
+
+sim::Time LossBackoff::draw(sim::Rng& rng) const {
+  if (cw_ <= 0) return 0;
+  return rng.uniform_int(0, cw_);
+}
+
+}  // namespace cmap::core

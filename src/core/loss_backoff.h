@@ -1,0 +1,34 @@
+// CMAP's loss-rate-driven backoff (§3.4, Fig. 7): the contention window is
+// a duration drawn per virtual packet. It grows only when receivers REPORT
+// loss above l_backoff in an ACK — never merely because an ACK failed to
+// arrive — which is what makes CMAP resilient to the ACK losses exposed
+// terminals inevitably suffer.
+#pragma once
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+class LossBackoff {
+ public:
+  LossBackoff(sim::Time cw_start, sim::Time cw_max, double l_backoff)
+      : cw_start_(cw_start), cw_max_(cw_max), l_backoff_(l_backoff) {}
+
+  /// Apply Fig. 7: reset CW on a healthy loss report, grow it (start, then
+  /// double, capped) on an unhealthy one.
+  void on_ack_loss_rate(double loss_rate);
+
+  /// Draw the wait before the next virtual packet: uniform in [0, CW].
+  sim::Time draw(sim::Rng& rng) const;
+
+  sim::Time cw() const { return cw_; }
+
+ private:
+  sim::Time cw_start_;
+  sim::Time cw_max_;
+  double l_backoff_;
+  sim::Time cw_ = 0;
+};
+
+}  // namespace cmap::core

@@ -1,0 +1,46 @@
+#include "core/ongoing_list.h"
+
+#include <algorithm>
+
+namespace cmap::core {
+
+void OngoingList::note(const VpDescriptor& d, sim::Time end_time) {
+  for (auto& e : entries_) {
+    if (e.src == d.src && e.dst == d.dst) {
+      e.end_time = end_time;
+      e.data_rate = d.data_rate;
+      return;
+    }
+  }
+  entries_.push_back(OngoingTx{d.src, d.dst, end_time, d.data_rate});
+}
+
+bool OngoingList::node_busy(phy::NodeId node, sim::Time now) const {
+  for (const auto& e : entries_) {
+    if (e.end_time > now && (e.src == node || e.dst == node)) return true;
+  }
+  return false;
+}
+
+std::vector<OngoingTx> OngoingList::active(sim::Time now) const {
+  std::vector<OngoingTx> out;
+  for (const auto& e : entries_) {
+    if (e.end_time > now) out.push_back(e);
+  }
+  return out;
+}
+
+sim::Time OngoingList::end_of(phy::NodeId src, phy::NodeId dst,
+                              sim::Time now) const {
+  for (const auto& e : entries_) {
+    if (e.src == src && e.dst == dst && e.end_time > now) return e.end_time;
+  }
+  return 0;
+}
+
+void OngoingList::expire(sim::Time now) {
+  std::erase_if(entries_,
+                [now](const OngoingTx& e) { return e.end_time <= now; });
+}
+
+}  // namespace cmap::core

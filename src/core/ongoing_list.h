@@ -1,0 +1,47 @@
+// The ongoing list (§3.2): every CMAP node's view of transmissions
+// currently in the air, built from overheard virtual-packet headers and
+// trailers. Entries carry the announced end time and expire on their own.
+#pragma once
+
+#include <vector>
+
+#include "core/wire.h"
+#include "phy/types.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+struct OngoingTx {
+  phy::NodeId src = 0;
+  phy::NodeId dst = 0;
+  sim::Time end_time = 0;
+  phy::WifiRate data_rate = phy::WifiRate::k6Mbps;
+};
+
+class OngoingList {
+ public:
+  /// Record an overheard/salvaged header or trailer announcing that the
+  /// transmission d.src -> d.dst lasts until `end_time` (trailers pass the
+  /// current time, which closes the entry).
+  void note(const VpDescriptor& d, sim::Time end_time);
+
+  /// True if `node` appears as source or destination of a live entry —
+  /// the "v is neither sending nor receiving" check.
+  bool node_busy(phy::NodeId node, sim::Time now) const;
+
+  /// Live transmissions at `now`.
+  std::vector<OngoingTx> active(sim::Time now) const;
+
+  /// End time of the live entry (src -> dst), or 0 if none.
+  sim::Time end_of(phy::NodeId src, phy::NodeId dst, sim::Time now) const;
+
+  /// Drop expired entries (called opportunistically).
+  void expire(sim::Time now);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<OngoingTx> entries_;
+};
+
+}  // namespace cmap::core

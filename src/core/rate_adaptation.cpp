@@ -1,0 +1,60 @@
+#include "core/rate_adaptation.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace cmap::core {
+namespace {
+
+double goodput(std::size_t payload_bytes, phy::WifiRate rate,
+               sim::Time wait) {
+  const double bits = 8.0 * static_cast<double>(payload_bytes);
+  const sim::Time air = phy::frame_airtime(rate, payload_bytes);
+  const double secs = sim::to_seconds(wait + air);
+  return secs > 0 ? bits / secs : 0.0;
+}
+
+}  // namespace
+
+ConflictAwareRateChooser::ConflictAwareRateChooser(
+    std::vector<phy::WifiRate> candidates)
+    : candidates_(std::move(candidates)) {
+  CMAP_ASSERT(!candidates_.empty(), "no candidate rates");
+}
+
+RateChoice ConflictAwareRateChooser::choose_idle(
+    std::size_t payload_bytes) const {
+  RateChoice best;
+  for (phy::WifiRate r : candidates_) {
+    const double bps = goodput(payload_bytes, r, 0);
+    if (bps > best.expected_bps) {
+      best = RateChoice{r, false, bps};
+    }
+  }
+  return best;
+}
+
+RateChoice ConflictAwareRateChooser::choose(const DeferTable& table,
+                                            phy::NodeId dst,
+                                            const OngoingTx& ongoing,
+                                            sim::Time now,
+                                            std::size_t payload_bytes) const {
+  const sim::Time wait = std::max<sim::Time>(0, ongoing.end_time - now);
+  RateChoice best;
+  for (phy::WifiRate r : candidates_) {
+    // Option A: transmit concurrently at r — admissible only when the
+    // conflict map has no entry against (r, ongoing rate).
+    if (!table.should_defer(dst, ongoing.src, ongoing.dst, now, r,
+                            ongoing.data_rate)) {
+      const double bps = goodput(payload_bytes, r, 0);
+      if (bps > best.expected_bps) best = RateChoice{r, false, bps};
+    }
+    // Option B: defer until the ongoing transmission ends, then send at r.
+    const double bps = goodput(payload_bytes, r, wait);
+    if (bps > best.expected_bps) best = RateChoice{r, true, bps};
+  }
+  return best;
+}
+
+}  // namespace cmap::core

@@ -1,0 +1,46 @@
+// The §3.5 extension the paper sketches: "a node may choose to transmit at
+// a lower rate that can tolerate interference from an ongoing transmission
+// or defer to the ongoing transmission and transmit at a higher rate later
+// on, picking the choice that yields a higher throughput."
+//
+// Given a rate-annotated defer table and one ongoing transmission, this
+// chooser evaluates every candidate rate both ways — concurrent (only if
+// the conflict map has no entry against that rate pairing) and
+// defer-then-send — and returns the highest expected goodput option.
+#pragma once
+
+#include <vector>
+
+#include "core/defer_table.h"
+#include "core/ongoing_list.h"
+#include "phy/wifi_rate.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+struct RateChoice {
+  phy::WifiRate rate = phy::WifiRate::k6Mbps;
+  bool defer = false;          // wait for the ongoing transmission first
+  double expected_bps = 0.0;   // payload bits / (wait + airtime)
+};
+
+class ConflictAwareRateChooser {
+ public:
+  /// `candidates` must be non-empty; order does not matter.
+  explicit ConflictAwareRateChooser(std::vector<phy::WifiRate> candidates);
+
+  /// Best option for sending `payload_bytes` to `dst` while `ongoing`
+  /// (p -> q at its rate) occupies the air until `ongoing.end_time`.
+  RateChoice choose(const DeferTable& table, phy::NodeId dst,
+                    const OngoingTx& ongoing, sim::Time now,
+                    std::size_t payload_bytes) const;
+
+  /// With a clear channel there is nothing to trade off: the fastest
+  /// candidate wins.
+  RateChoice choose_idle(std::size_t payload_bytes) const;
+
+ private:
+  std::vector<phy::WifiRate> candidates_;
+};
+
+}  // namespace cmap::core

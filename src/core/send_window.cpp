@@ -1,0 +1,46 @@
+#include "core/send_window.h"
+
+#include <algorithm>
+
+namespace cmap::core {
+namespace {
+// Retain composition of this many recent VPs; ACKs referencing older VPs
+// are stale beyond the protocol's own window.
+constexpr std::size_t kVpHistory = 64;
+}  // namespace
+
+void SendWindow::on_vp_sent(std::uint32_t vp_seq,
+                            const std::vector<std::uint32_t>& seqs) {
+  for (auto s : seqs) outstanding_.insert(s);
+  vp_contents_[vp_seq] = seqs;
+  vp_order_.push_back(vp_seq);
+  while (vp_order_.size() > kVpHistory) {
+    vp_contents_.erase(vp_order_.front());
+    vp_order_.pop_front();
+  }
+}
+
+std::vector<std::uint32_t> SendWindow::on_ack(const CmapAckFrame& ack) {
+  std::vector<std::uint32_t> newly_acked;
+  for (const auto& vp : ack.vps) {
+    auto it = vp_contents_.find(vp.vp_seq);
+    if (it == vp_contents_.end()) continue;
+    const auto& seqs = it->second;
+    for (std::size_t i = 0; i < seqs.size() && i < 64; ++i) {
+      if ((vp.bitmap >> i) & 1ull) {
+        if (outstanding_.erase(seqs[i]) > 0) {
+          newly_acked.push_back(seqs[i]);
+        }
+      }
+    }
+  }
+  return newly_acked;
+}
+
+std::vector<std::uint32_t> SendWindow::unacked_in_sequence() const {
+  std::vector<std::uint32_t> out(outstanding_.begin(), outstanding_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cmap::core

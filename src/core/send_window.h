@@ -1,0 +1,54 @@
+// Sender-side state of the windowed ACK/retransmission protocol (§3.3).
+// Tracks which sequence numbers are outstanding, which virtual packet each
+// copy travelled in (so cumulative per-VP bitmap ACKs can be mapped back to
+// sequence numbers), and when the window-full retransmission timeout
+// applies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/wire.h"
+#include "sim/time.h"
+
+namespace cmap::core {
+
+class SendWindow {
+ public:
+  explicit SendWindow(std::size_t max_outstanding_packets)
+      : max_outstanding_(max_outstanding_packets) {}
+
+  /// Can a NEW (never-sent) packet enter the window?
+  bool can_admit() const { return outstanding_.size() < max_outstanding_; }
+  bool window_full() const { return !can_admit(); }
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+  /// Record that `seqs` were just (re)transmitted in virtual packet
+  /// `vp_seq`. New seqs enter the outstanding set.
+  void on_vp_sent(std::uint32_t vp_seq, const std::vector<std::uint32_t>& seqs);
+
+  /// Process one ACK; returns the seqs newly acknowledged by it.
+  std::vector<std::uint32_t> on_ack(const CmapAckFrame& ack);
+
+  /// Outstanding seqs in increasing order — the §3.3 retransmission set.
+  std::vector<std::uint32_t> unacked_in_sequence() const;
+
+  bool is_outstanding(std::uint32_t seq) const {
+    return outstanding_.count(seq) != 0;
+  }
+
+  /// Give up on a packet (retransmission limit): frees its window slot.
+  void drop(std::uint32_t seq) { outstanding_.erase(seq); }
+
+ private:
+  std::size_t max_outstanding_;
+  std::unordered_set<std::uint32_t> outstanding_;
+  // vp_seq -> seqs carried (in VP order), kept until acked or superseded.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> vp_contents_;
+  std::deque<std::uint32_t> vp_order_;  // for bounded cleanup
+};
+
+}  // namespace cmap::core

@@ -1,0 +1,30 @@
+#include "mac/dup_filter.h"
+
+namespace cmap::mac {
+
+bool DupFilter::seen_before(phy::NodeId sender, std::uint32_t seq) {
+  PerSender& s = senders_[sender];
+  if (s.any && seq + window_ < s.max_seq) {
+    // Far behind the window: treat as duplicate (stale retransmission).
+    return true;
+  }
+  const bool dup = !s.seen.insert(seq).second;
+  if (!s.any || seq > s.max_seq) {
+    s.max_seq = seq;
+    s.any = true;
+  }
+  // Evict entries that fell out of the window. Amortized cheap: each seq
+  // enters and leaves the set once.
+  if (s.seen.size() > 2 * window_) {
+    for (auto it = s.seen.begin(); it != s.seen.end();) {
+      if (*it + window_ < s.max_seq) {
+        it = s.seen.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dup;
+}
+
+}  // namespace cmap::mac

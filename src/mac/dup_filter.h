@@ -1,0 +1,33 @@
+// Receiver-side duplicate detection: a sliding window of recently seen
+// link-layer sequence numbers per sender. Retransmissions of packets whose
+// ACK was lost would otherwise be double-counted as goodput.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "phy/types.h"
+
+namespace cmap::mac {
+
+class DupFilter {
+ public:
+  /// `window` is how many distinct recent sequence numbers to remember per
+  /// sender; it must exceed the sender's retransmission window.
+  explicit DupFilter(std::size_t window = 1024) : window_(window) {}
+
+  /// Record (sender, seq); returns true if it was already seen recently.
+  bool seen_before(phy::NodeId sender, std::uint32_t seq);
+
+ private:
+  struct PerSender {
+    std::unordered_set<std::uint32_t> seen;
+    std::uint32_t max_seq = 0;
+    bool any = false;
+  };
+  std::size_t window_;
+  std::unordered_map<phy::NodeId, PerSender> senders_;
+};
+
+}  // namespace cmap::mac

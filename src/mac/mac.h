@@ -1,0 +1,41 @@
+// The MAC interface every channel-access scheme implements. Experiment
+// harnesses talk only to this interface, so 802.11 variants and CMAP are
+// interchangeable over the same PHY.
+#pragma once
+
+#include <functional>
+
+#include "mac/packet.h"
+#include "mac/stats.h"
+
+namespace cmap::mac {
+
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  /// Packet delivered to the layer above (already de-duplicated status in
+  /// `duplicate`; sinks normally count only non-duplicates).
+  struct RxInfo {
+    double rssi_dbm = 0.0;
+    bool duplicate = false;
+  };
+  using RxHandler = std::function<void(const Packet&, const RxInfo&)>;
+  using DrainHandler = std::function<void()>;
+
+  /// Enqueue a packet for transmission. Returns false (and drops) when the
+  /// transmit queue is full.
+  virtual bool send(Packet packet) = 0;
+
+  /// Install the receive upcall.
+  virtual void set_rx_handler(RxHandler handler) = 0;
+
+  /// Called whenever queue space frees up; saturated sources use this to
+  /// keep the MAC backlogged.
+  virtual void set_drain_handler(DrainHandler handler) = 0;
+
+  virtual std::size_t queue_depth() const = 0;
+  virtual const MacStats& stats() const = 0;
+};
+
+}  // namespace cmap::mac

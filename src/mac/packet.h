@@ -1,0 +1,21 @@
+// The unit of data handed to a MAC by the layer above (think: an IP packet
+// in a link-layer queue).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/types.h"
+#include "sim/time.h"
+
+namespace cmap::mac {
+
+struct Packet {
+  phy::NodeId src = 0;
+  phy::NodeId dst = 0;
+  std::uint64_t id = 0;        // globally unique; sinks use it to de-dup
+  std::uint32_t flow = 0;      // traffic generator tag
+  std::size_t bytes = 0;       // upper-layer payload size
+  sim::Time created_at = 0;
+};
+
+}  // namespace cmap::mac

@@ -1,0 +1,38 @@
+// Wire formats shared by the 802.11 baseline. (CMAP's own frame types —
+// virtual-packet headers/trailers, cumulative ACKs, interferer-list
+// broadcasts — live in core/wire.h.) Sizes follow 802.11: 24-byte MAC
+// header + 4-byte FCS on data, 14-byte control ACK.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/packet.h"
+#include "phy/frame.h"
+#include "phy/types.h"
+
+namespace cmap::mac {
+
+inline constexpr std::size_t kDataHeaderBytes = 28;  // MAC header + FCS
+inline constexpr std::size_t kAckBytes = 14;
+
+/// Unicast/broadcast data frame carrying one upper-layer packet.
+struct DataFrame : phy::Payload {
+  phy::NodeId src = 0;
+  phy::NodeId dst = 0;
+  std::uint32_t seq = 0;  // link-layer sequence number (per sender)
+  bool retry = false;
+  Packet packet;
+
+  std::size_t wire_bytes() const { return packet.bytes + kDataHeaderBytes; }
+};
+
+/// 802.11-style immediate ACK.
+struct AckFrame : phy::Payload {
+  phy::NodeId src = 0;  // acking node
+  phy::NodeId dst = 0;  // original sender
+  std::uint32_t seq = 0;
+
+  std::size_t wire_bytes() const { return kAckBytes; }
+};
+
+}  // namespace cmap::mac

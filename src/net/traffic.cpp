@@ -1,0 +1,73 @@
+#include "net/traffic.h"
+
+namespace cmap::net {
+
+std::uint64_t SaturatedSource::next_packet_id_ = 0;
+std::uint64_t BatchSource::next_packet_id_ = 1'000'000'000ull;
+
+namespace {
+constexpr std::size_t kBacklogTarget = 64;  // packets kept queued
+}
+
+SaturatedSource::SaturatedSource(mac::Mac& mac, phy::NodeId src,
+                                 phy::NodeId dst, std::size_t bytes,
+                                 std::uint32_t flow)
+    : mac_(mac), src_(src), dst_(dst), bytes_(bytes), flow_(flow) {
+  mac_.set_drain_handler([this] { fill(); });
+  fill();
+}
+
+void SaturatedSource::fill() {
+  while (mac_.queue_depth() < kBacklogTarget) {
+    mac::Packet p;
+    p.src = src_;
+    p.dst = dst_;
+    p.id = ++next_packet_id_;
+    p.flow = flow_;
+    p.bytes = bytes_;
+    if (!mac_.send(p)) break;
+    ++offered_;
+  }
+}
+
+BatchSource::BatchSource(mac::Mac& mac, phy::NodeId src, phy::NodeId dst,
+                         std::uint64_t count, std::size_t bytes,
+                         std::uint32_t flow)
+    : mac_(mac),
+      src_(src),
+      dst_(dst),
+      bytes_(bytes),
+      flow_(flow),
+      remaining_(count) {
+  mac_.set_drain_handler([this] { fill(); });
+  fill();
+}
+
+void BatchSource::fill() {
+  while (remaining_ > 0 && mac_.queue_depth() < kBacklogTarget) {
+    mac::Packet p;
+    p.src = src_;
+    p.dst = dst_;
+    p.id = ++next_packet_id_;
+    p.flow = flow_;
+    p.bytes = bytes_;
+    if (!mac_.send(p)) break;
+    --remaining_;
+  }
+}
+
+PacketSink::PacketSink(mac::Mac& mac, sim::Simulator& simulator)
+    : sim_(simulator) {
+  mac.set_rx_handler([this](const mac::Packet& p,
+                            const mac::Mac::RxInfo& info) {
+    if (info.duplicate) {
+      ++duplicates_;
+      return;
+    }
+    ++unique_;
+    meter_.on_packet(p.bytes, sim_.now());
+    if (forward_) forward_(p);
+  });
+}
+
+}  // namespace cmap::net

@@ -1,0 +1,55 @@
+// Packet error models: map SINR to the probability that a run of bits
+// decodes correctly. The default model follows the structure of the NIST
+// error-rate model used by ns-3: modulation-specific uncoded BER, then a
+// hard-decision union bound over the convolutional code's distance
+// spectrum. An implementation-loss factor (applied by the radio) shifts
+// the idealized curves toward what commodity hardware achieves.
+#pragma once
+
+#include "phy/wifi_rate.h"
+
+namespace cmap::phy {
+
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  /// Probability that `bits` consecutive coded-data bits at `rate` all
+  /// decode correctly at linear SINR `sinr`. `bits` is fractional because
+  /// interference chunking slices packets at arbitrary boundaries.
+  virtual double chunk_success(double sinr, double bits,
+                               WifiRate rate) const = 0;
+};
+
+/// NIST-style analytic model (see file comment). Produces the sharp
+/// PRR-vs-SNR transitions characteristic of coded OFDM, which is what makes
+/// testbed links look bimodal (mostly dead or perfect, few in between).
+class NistErrorModel final : public ErrorModel {
+ public:
+  /// `bandwidth_hz` converts channel SINR to per-bit Eb/N0
+  /// (Eb/N0 = SINR * bandwidth / bitrate).
+  explicit NistErrorModel(double bandwidth_hz = 20e6)
+      : bandwidth_hz_(bandwidth_hz) {}
+
+  double chunk_success(double sinr, double bits, WifiRate rate) const override;
+
+  /// Coded bit error rate at the given linear SINR (exposed for tests and
+  /// for closed-form PRR computations in topology calibration).
+  double coded_ber(double sinr, WifiRate rate) const;
+
+ private:
+  double bandwidth_hz_;
+};
+
+/// Step-function model: perfect above the per-rate SINR threshold, dead
+/// below. Useful for deterministic protocol unit tests.
+class ThresholdErrorModel final : public ErrorModel {
+ public:
+  explicit ThresholdErrorModel(double threshold_db = 3.0);
+  double chunk_success(double sinr, double bits, WifiRate rate) const override;
+
+ private:
+  double threshold_linear_;
+};
+
+}  // namespace cmap::phy

@@ -1,0 +1,69 @@
+// Tracks the signals impinging on one radio and evaluates chunked SINR:
+// a reception window is partitioned at interference change-points, each
+// sub-interval contributes (1 - BER)^bits, and the product is the success
+// probability of that window (the ns-3 InterferenceHelper approach).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/error_model.h"
+#include "phy/frame.h"
+#include "sim/time.h"
+
+namespace cmap::phy {
+
+/// One signal as seen at one receiver.
+struct Signal {
+  std::shared_ptr<const Frame> frame;
+  double power_mw = 0.0;  // received power (after fading) at this radio
+  sim::Time start = 0;
+  sim::Time end = 0;
+};
+
+struct ChunkOutcome {
+  double success_prob = 1.0;
+  double min_sinr = 1e30;  // linear; worst sub-interval SINR
+};
+
+class InterferenceTracker {
+ public:
+  explicit InterferenceTracker(double noise_floor_mw)
+      : noise_mw_(noise_floor_mw) {}
+
+  void add(Signal signal);
+
+  /// Drop signals that ended before `horizon` (they can no longer overlap
+  /// any evaluation window).
+  void prune(sim::Time horizon);
+
+  /// Success probability and worst SINR for decoding `bits` of frame
+  /// `target_frame_id` over the window [begin, end) at `rate`, given all
+  /// other tracked signals and the noise floor. `sinr_scale` divides the
+  /// SINR before the error model (implementation loss).
+  ChunkOutcome evaluate(std::uint64_t target_frame_id, sim::Time begin,
+                        sim::Time end, double bits, WifiRate rate,
+                        const ErrorModel& model, double sinr_scale) const;
+
+  /// Linear SINR of the target over [begin, end) — worst sub-interval.
+  double min_sinr(std::uint64_t target_frame_id, sim::Time begin,
+                  sim::Time end) const;
+
+  /// Sum of powers of signals active at time `t` (mW), excluding none.
+  double total_power_mw(sim::Time t) const;
+
+  /// Highest single-signal power active at time `t` (mW), or 0.
+  double max_power_mw(sim::Time t) const;
+
+  const std::vector<Signal>& signals() const { return signals_; }
+  double noise_mw() const { return noise_mw_; }
+
+ private:
+  const Signal* find(std::uint64_t frame_id) const;
+
+  std::vector<Signal> signals_;
+  double noise_mw_;
+};
+
+}  // namespace cmap::phy

@@ -1,0 +1,66 @@
+#include "phy/medium.h"
+
+#include "phy/radio.h"
+#include "phy/units.h"
+#include "sim/assert.h"
+
+namespace cmap::phy {
+namespace {
+constexpr double kSpeedOfLight = 2.99792458e8;
+}
+
+Medium::Medium(sim::Simulator& simulator,
+               std::shared_ptr<const PropagationModel> propagation,
+               MediumConfig config, sim::Rng rng)
+    : sim_(simulator),
+      propagation_(std::move(propagation)),
+      config_(config),
+      rng_(rng) {}
+
+void Medium::attach(Radio* radio) {
+  CMAP_ASSERT(radio != nullptr, "attach null radio");
+  radios_.push_back(radio);
+}
+
+Radio* Medium::radio(NodeId id) const {
+  for (Radio* r : radios_) {
+    if (r->id() == id) return r;
+  }
+  return nullptr;
+}
+
+double Medium::mean_rx_power_dbm(NodeId from, NodeId to) const {
+  const Radio* src = radio(from);
+  const Radio* dst = radio(to);
+  CMAP_ASSERT(src != nullptr && dst != nullptr, "unknown radio id");
+  return propagation_->rx_power_dbm(src->config().tx_power_dbm, from, to,
+                                    src->position(), dst->position());
+}
+
+void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
+  const sim::Time now = sim_.now();
+  for (Radio* r : radios_) {
+    if (r == &source) continue;
+    double power_dbm = propagation_->rx_power_dbm(
+        source.config().tx_power_dbm, source.id(), r->id(), source.position(),
+        r->position());
+    if (config_.fading_sigma_db > 0.0) {
+      power_dbm += rng_.normal(0.0, config_.fading_sigma_db);
+    }
+    if (power_dbm < config_.delivery_floor_dbm) continue;
+
+    sim::Time delay = 0;
+    if (config_.enable_propagation_delay) {
+      const double d = distance(source.position(), r->position());
+      delay = static_cast<sim::Time>(d / kSpeedOfLight * 1e9);
+    }
+    Signal sig;
+    sig.frame = frame;
+    sig.power_mw = dbm_to_mw(power_dbm);
+    sig.start = now + delay;
+    sig.end = sig.start + frame->duration;
+    sim_.at(sig.start, [r, sig] { r->deliver(sig); });
+  }
+}
+
+}  // namespace cmap::phy

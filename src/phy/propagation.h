@@ -1,0 +1,64 @@
+// Propagation models: mean received power between two nodes. The testbed
+// substitute is log-distance path loss plus deterministic per-pair
+// lognormal shadowing; shadowing is what creates the irregular
+// exposed/hidden geometry the paper exploits (a pure disk model has none).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/types.h"
+
+namespace cmap::phy {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Mean received power in dBm at node `to` for a transmission from node
+  /// `from` at `tx_power_dbm`. Node ids allow per-pair shadowing.
+  virtual double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                              const Position& from_pos,
+                              const Position& to_pos) const = 0;
+};
+
+/// Free-space (Friis) propagation; mostly for unit tests and controlled
+/// topologies.
+class FriisPropagation final : public PropagationModel {
+ public:
+  explicit FriisPropagation(double frequency_hz = 5.18e9);
+  double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                      const Position& from_pos,
+                      const Position& to_pos) const override;
+
+ private:
+  double ref_loss_db_;  // path loss at 1 m
+};
+
+struct LogDistanceConfig {
+  double frequency_hz = 5.18e9;   // 802.11a channel 36 region
+  double exponent = 4.0;          // indoor office with walls
+  double shadow_sigma_db = 8.0;   // per unordered pair, symmetric
+  double asym_sigma_db = 2.0;     // extra per ordered pair (link asymmetry)
+  std::uint64_t seed = 1;         // shadowing realization
+};
+
+/// Log-distance path loss with deterministic per-pair shadowing: the same
+/// (seed, i, j) always yields the same loss, so "the building" is fixed
+/// across runs and MAC schemes see identical channels.
+class LogDistanceShadowing final : public PropagationModel {
+ public:
+  explicit LogDistanceShadowing(LogDistanceConfig config = {});
+  double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                      const Position& from_pos,
+                      const Position& to_pos) const override;
+
+  const LogDistanceConfig& config() const { return config_; }
+
+ private:
+  double shadow_db(NodeId from, NodeId to) const;
+
+  LogDistanceConfig config_;
+  double ref_loss_db_;
+};
+
+}  // namespace cmap::phy

@@ -1,0 +1,277 @@
+#include "phy/radio.h"
+
+#include <algorithm>
+
+#include "phy/medium.h"
+#include "phy/units.h"
+#include "sim/assert.h"
+
+namespace cmap::phy {
+namespace {
+// Signals older than this can no longer overlap any evaluation window
+// (longest frame is ~2 ms; generous margin).
+constexpr sim::Time kPruneHorizon = 50 * sim::kNsPerMs;
+}  // namespace
+
+Radio::Radio(sim::Simulator& simulator, Medium& medium, NodeId id,
+             Position pos, RadioConfig config,
+             std::shared_ptr<const ErrorModel> error_model, sim::Rng rng)
+    : sim_(simulator),
+      medium_(medium),
+      id_(id),
+      position_(pos),
+      config_(config),
+      error_model_(std::move(error_model)),
+      rng_(rng),
+      tracker_(dbm_to_mw(config.noise_floor_dbm)),
+      sinr_scale_(db_to_linear(config.implementation_loss_db)),
+      cs_signal_mw_(dbm_to_mw(config.cs_signal_dbm)),
+      energy_detect_mw_(dbm_to_mw(config.energy_detect_dbm)),
+      sensitivity_mw_(dbm_to_mw(config.sensitivity_dbm)),
+      capture_ratio_(db_to_linear(config.capture_margin_db)),
+      preamble_min_sinr_(db_to_linear(config.preamble_min_sinr_db)) {
+  medium_.attach(this);
+}
+
+const Signal* Radio::find_signal(std::uint64_t frame_id) const {
+  for (const auto& s : tracker_.signals()) {
+    if (s.frame->id == frame_id) return &s;
+  }
+  return nullptr;
+}
+
+void Radio::transmit(Frame frame) {
+  CMAP_ASSERT(state_ != State::kTx, "transmit while already transmitting");
+  if (state_ == State::kRx) {
+    ++counters_.aborted_by_tx;
+    abort_rx();
+  }
+  frame.id = medium_.next_frame_id();
+  frame.tx_node = id_;
+  frame.duration = frame_airtime(frame.rate, frame.size_bytes());
+  auto shared = std::make_shared<const Frame>(std::move(frame));
+  state_ = State::kTx;
+  tx_frame_ = shared;
+  tx_start_ = sim_.now();
+  tx_end_ = sim_.now() + shared->duration;
+  ++counters_.frames_sent;
+  medium_.transmit(*this, shared);
+  sim_.in(shared->duration, [this] { finish_tx(); });
+  update_cca();
+}
+
+void Radio::finish_tx() {
+  CMAP_ASSERT(state_ == State::kTx, "finish_tx in wrong state");
+  state_ = State::kIdle;
+  auto frame = tx_frame_;
+  tx_frame_.reset();
+  update_cca();
+  if (listener_) listener_->on_tx_end(*frame);
+}
+
+void Radio::deliver(Signal signal) {
+  const std::uint64_t fid = signal.frame->id;
+  tracker_.prune(sim_.now() - kPruneHorizon);
+  tracker_.add(signal);
+  sim_.at(signal.end, [this, fid] { on_signal_end(fid); });
+
+  if (signal.power_mw >= sensitivity_mw_) {
+    const bool idle_lock_candidate = state_ == State::kIdle;
+    const bool capture_candidate =
+        state_ == State::kRx && config_.capture_enabled &&
+        signal.power_mw >= lock_power_mw_ * capture_ratio_;
+    if (idle_lock_candidate || capture_candidate) {
+      sim_.at(signal.start + kPlcpDuration,
+              [this, fid] { evaluate_preamble(fid); });
+    }
+  }
+  update_cca();
+}
+
+void Radio::evaluate_preamble(std::uint64_t frame_id) {
+  if (state_ == State::kTx) return;
+  const Signal* sig = find_signal(frame_id);
+  if (sig == nullptr) return;  // pruned (shouldn't happen within horizon)
+
+  if (state_ == State::kRx) {
+    if (!config_.capture_enabled || frame_id == lock_frame_id_) return;
+    if (sig->power_mw < lock_power_mw_ * capture_ratio_) return;
+  }
+
+  const double sinr =
+      tracker_.min_sinr(frame_id, sig->start, sig->start + kPlcpDuration);
+  if (sinr < preamble_min_sinr_) {
+    ++counters_.preamble_failures;
+    return;
+  }
+
+  if (state_ == State::kRx) {
+    ++counters_.aborted_by_capture;
+    abort_rx();
+  }
+  lock(*sig);
+}
+
+void Radio::lock(const Signal& sig) {
+  CMAP_ASSERT(state_ == State::kIdle, "lock in wrong state");
+  state_ = State::kRx;
+  lock_frame_id_ = sig.frame->id;
+  lock_power_mw_ = sig.power_mw;
+  lock_min_sinr_db_ = 1e9;
+  segment_results_.assign(sig.frame->segments.size(), std::nullopt);
+  ++counters_.locks;
+
+  // Integrated mode: deliver the header verdict as soon as its last bit is
+  // on the air ("streaming" property of the PHY abstraction, §2.1).
+  const auto& segments = sig.frame->segments;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].kind == SegmentKind::kHeader) {
+      const auto [begin, end] = segment_window(sig, i);
+      const std::uint64_t fid = sig.frame->id;
+      header_event_ = sim_.at(end, [this, fid, i] {
+        if (state_ != State::kRx || lock_frame_id_ != fid) return;
+        const Signal* s = find_signal(fid);
+        if (s == nullptr) return;
+        double sinr_db = 0.0;
+        const bool ok = evaluate_segment(*s, i, &sinr_db);
+        segment_results_[i] = ok;
+        if (listener_) listener_->on_header_decoded(*s->frame, ok);
+      });
+      break;
+    }
+  }
+
+  rx_finish_event_ = sim_.at(sig.end, [this] { finish_rx(); });
+  update_cca();
+  if (listener_) listener_->on_rx_start(*sig.frame, sig.end);
+}
+
+std::pair<sim::Time, sim::Time> Radio::segment_window(
+    const Signal& sig, std::size_t index) const {
+  const auto& segments = sig.frame->segments;
+  std::size_t total = 0, before = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i < index) before += segments[i].bytes;
+    total += segments[i].bytes;
+  }
+  CMAP_ASSERT(total > 0, "frame with no payload bytes");
+  const sim::Time payload_begin = sig.start + kPlcpDuration;
+  const double span = static_cast<double>(sig.end - payload_begin);
+  const auto begin =
+      payload_begin +
+      static_cast<sim::Time>(span * static_cast<double>(before) /
+                             static_cast<double>(total));
+  const auto end =
+      payload_begin +
+      static_cast<sim::Time>(
+          span * static_cast<double>(before + segments[index].bytes) /
+          static_cast<double>(total));
+  return {begin, end};
+}
+
+bool Radio::evaluate_segment(const Signal& sig, std::size_t index,
+                             double* min_sinr_db) {
+  const auto [begin, end] = segment_window(sig, index);
+  const double bits = 8.0 * static_cast<double>(sig.frame->segments[index].bytes);
+  const ChunkOutcome outcome =
+      tracker_.evaluate(sig.frame->id, begin, end, bits, sig.frame->rate,
+                        *error_model_, sinr_scale_);
+  if (min_sinr_db != nullptr) *min_sinr_db = linear_to_db(outcome.min_sinr);
+  return rng_.bernoulli(outcome.success_prob);
+}
+
+void Radio::finish_rx() {
+  CMAP_ASSERT(state_ == State::kRx, "finish_rx in wrong state");
+  const Signal* sig = find_signal(lock_frame_id_);
+  CMAP_ASSERT(sig != nullptr, "locked signal missing at finish");
+
+  RxResult result;
+  result.rssi_dbm = mw_to_dbm(sig->power_mw);
+  result.segment_ok.resize(sig->frame->segments.size());
+  double worst_db = 1e9;
+  for (std::size_t i = 0; i < result.segment_ok.size(); ++i) {
+    if (segment_results_[i].has_value()) {
+      result.segment_ok[i] = *segment_results_[i];
+      continue;
+    }
+    double sinr_db = 0.0;
+    result.segment_ok[i] = evaluate_segment(*sig, i, &sinr_db);
+    worst_db = std::min(worst_db, sinr_db);
+  }
+  result.min_sinr_db = worst_db;
+
+  if (result.all_ok()) {
+    ++counters_.rx_ok;
+  } else {
+    ++counters_.rx_corrupt;
+  }
+
+  auto frame = sig->frame;  // keep alive across listener call
+  state_ = State::kIdle;
+  header_event_.cancel();
+  update_cca();
+  if (listener_) listener_->on_rx_end(*frame, result);
+}
+
+void Radio::abort_rx() {
+  CMAP_ASSERT(state_ == State::kRx, "abort_rx in wrong state");
+  rx_finish_event_.cancel();
+  header_event_.cancel();
+  state_ = State::kIdle;
+  // No listener notification: a receiver that loses lock never learns what
+  // the frame would have contained.
+  update_cca();
+}
+
+void Radio::on_signal_end(std::uint64_t frame_id) {
+  const Signal* sig = find_signal(frame_id);
+  if (sig != nullptr && config_.salvage_enabled &&
+      (state_ != State::kRx || lock_frame_id_ != frame_id)) {
+    maybe_salvage(*sig);
+  }
+  update_cca();
+}
+
+void Radio::maybe_salvage(const Signal& sig) {
+  if (sig.power_mw < sensitivity_mw_) return;
+  // A half-duplex radio hears nothing of a frame it talked over.
+  const bool tx_overlap =
+      tx_start_ >= 0 && tx_start_ < sig.end && tx_end_ > sig.start;
+  if (tx_overlap) return;
+
+  RxResult result;
+  result.rssi_dbm = mw_to_dbm(sig.power_mw);
+  result.segment_ok.assign(sig.frame->segments.size(), false);
+  bool any = false;
+  double worst_db = 1e9;
+  for (std::size_t i = 0; i < sig.frame->segments.size(); ++i) {
+    const SegmentKind kind = sig.frame->segments[i].kind;
+    if (kind != SegmentKind::kHeader && kind != SegmentKind::kTrailer)
+      continue;
+    double sinr_db = 0.0;
+    result.segment_ok[i] = evaluate_segment(sig, i, &sinr_db);
+    worst_db = std::min(worst_db, sinr_db);
+    any = any || result.segment_ok[i];
+  }
+  result.min_sinr_db = worst_db;
+  if (!any) return;
+  ++counters_.salvages;
+  if (listener_) listener_->on_salvage(*sig.frame, result);
+}
+
+bool Radio::carrier_busy() const {
+  if (state_ != State::kIdle) return true;
+  const sim::Time now = sim_.now();
+  if (tracker_.max_power_mw(now) >= cs_signal_mw_) return true;
+  if (tracker_.total_power_mw(now) >= energy_detect_mw_) return true;
+  return false;
+}
+
+void Radio::update_cca() {
+  const bool busy = carrier_busy();
+  if (busy == last_cca_busy_) return;
+  last_cca_busy_ = busy;
+  if (listener_) listener_->on_cca(busy);
+}
+
+}  // namespace cmap::phy

@@ -1,0 +1,178 @@
+// Half-duplex radio state machine: IDLE / RX (locked to one frame) / TX.
+//
+// Reception follows real 802.11 receivers: a frame is only decodable if its
+// preamble was heard while idle with sufficient SINR ("lock"); a frame
+// arriving during another reception is interference, unless it is strong
+// enough to capture the receiver (message-in-message, §6 of the paper
+// references Whitehouse et al.). Per-segment success is evaluated with
+// chunked SINR at frame end. In integrated-PHY mode the radio additionally
+// salvages header/trailer segments of frames it never locked to — the PPR
+// behaviour CMAP's conflict map relies on (paper §2.1, Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "phy/error_model.h"
+#include "phy/frame.h"
+#include "phy/interference.h"
+#include "phy/types.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace cmap::phy {
+
+class Medium;
+
+struct RadioConfig {
+  double tx_power_dbm = 10.0;
+  double noise_floor_dbm = -94.0;    // thermal + NF over 20 MHz
+  double sensitivity_dbm = -92.0;    // min power to attempt a preamble lock
+  double cs_signal_dbm = -92.0;      // preamble-based carrier sense
+  double energy_detect_dbm = -82.0;  // total-energy carrier sense
+  double preamble_min_sinr_db = 1.0; // SINR needed to sync to a preamble
+  double capture_margin_db = 10.0;   // stronger-by margin to re-lock
+  bool capture_enabled = true;
+  // Gap between the idealized analytic error model and commodity hardware;
+  // divides SINR before the error model.
+  double implementation_loss_db = 5.0;
+  // Integrated-PHY (PPR) mode: salvage kHeader/kTrailer segments of frames
+  // the radio never locked onto.
+  bool salvage_enabled = false;
+};
+
+/// Callbacks a MAC implements to drive/observe its radio. All callbacks run
+/// inside simulation events; implementations may schedule or transmit but
+/// must tolerate reentrant CCA notifications.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  /// Locked onto `frame`; reception will finish at `end_time`.
+  virtual void on_rx_start(const Frame& frame, sim::Time end_time) {
+    (void)frame;
+    (void)end_time;
+  }
+  /// Integrated mode only: the kHeader segment decoded (or not) mid-frame.
+  virtual void on_header_decoded(const Frame& frame, bool ok) {
+    (void)frame;
+    (void)ok;
+  }
+  /// A locked frame finished; per-segment outcomes in `result`.
+  virtual void on_rx_end(const Frame& frame, const RxResult& result) {
+    (void)frame;
+    (void)result;
+  }
+  /// Integrated mode: header/trailer salvaged from a frame never locked.
+  virtual void on_salvage(const Frame& frame, const RxResult& result) {
+    (void)frame;
+    (void)result;
+  }
+  /// Carrier-sense (CCA) state changed.
+  virtual void on_cca(bool busy) { (void)busy; }
+  /// Own transmission completed.
+  virtual void on_tx_end(const Frame& frame) { (void)frame; }
+};
+
+class Radio {
+ public:
+  struct Counters {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t locks = 0;
+    std::uint64_t rx_ok = 0;          // all segments decoded
+    std::uint64_t rx_corrupt = 0;     // locked but some segment failed
+    std::uint64_t preamble_failures = 0;
+    std::uint64_t aborted_by_tx = 0;
+    std::uint64_t aborted_by_capture = 0;
+    std::uint64_t salvages = 0;
+  };
+
+  Radio(sim::Simulator& simulator, Medium& medium, NodeId id, Position pos,
+        RadioConfig config, std::shared_ptr<const ErrorModel> error_model,
+        sim::Rng rng);
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  void set_listener(RadioListener* listener) { listener_ = listener; }
+
+  /// Transmit `frame` at the configured power. Aborts any reception in
+  /// progress (half-duplex). The radio assigns the frame id and duration.
+  void transmit(Frame frame);
+
+  bool transmitting() const { return state_ == State::kTx; }
+  bool receiving() const { return state_ == State::kRx; }
+
+  /// Carrier-sense: busy when transmitting, locked onto a frame, any single
+  /// signal exceeds the preamble-CS threshold, or total energy exceeds the
+  /// energy-detect threshold.
+  bool carrier_busy() const;
+
+  NodeId id() const { return id_; }
+  const Position& position() const { return position_; }
+  void set_position(Position pos) { position_ = pos; }
+  const RadioConfig& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+  const InterferenceTracker& interference() const { return tracker_; }
+
+  /// Medium-facing entry point: a signal begins arriving at this radio.
+  /// Not for MAC use.
+  void deliver(Signal signal);
+
+ private:
+  enum class State { kIdle, kRx, kTx };
+
+  void on_signal_end(std::uint64_t frame_id);
+  void evaluate_preamble(std::uint64_t frame_id);
+  void lock(const Signal& sig);
+  void finish_rx();
+  void abort_rx();
+  void finish_tx();
+  void update_cca();
+  void maybe_salvage(const Signal& sig);
+  const Signal* find_signal(std::uint64_t frame_id) const;
+
+  // Payload window [begin, end) of segment `index` of `sig`'s frame,
+  // mapping payload bits proportionally onto the post-preamble airtime.
+  std::pair<sim::Time, sim::Time> segment_window(const Signal& sig,
+                                                 std::size_t index) const;
+  bool evaluate_segment(const Signal& sig, std::size_t index,
+                        double* min_sinr_db);
+
+  sim::Simulator& sim_;
+  Medium& medium_;
+  NodeId id_;
+  Position position_;
+  RadioConfig config_;
+  std::shared_ptr<const ErrorModel> error_model_;
+  sim::Rng rng_;
+  RadioListener* listener_ = nullptr;
+
+  State state_ = State::kIdle;
+  InterferenceTracker tracker_;
+
+  // Current reception.
+  std::uint64_t lock_frame_id_ = 0;
+  double lock_power_mw_ = 0.0;
+  sim::EventId rx_finish_event_;
+  sim::EventId header_event_;
+  std::vector<std::optional<bool>> segment_results_;
+  double lock_min_sinr_db_ = 1e9;
+
+  // Current / most recent transmission (for salvage overlap checks).
+  std::shared_ptr<const Frame> tx_frame_;
+  sim::Time tx_start_ = -1;
+  sim::Time tx_end_ = -1;
+
+  bool last_cca_busy_ = false;
+  double sinr_scale_;  // linear implementation loss
+  double cs_signal_mw_;
+  double energy_detect_mw_;
+  double sensitivity_mw_;
+  double capture_ratio_;
+  double preamble_min_sinr_;
+
+  Counters counters_;
+};
+
+}  // namespace cmap::phy

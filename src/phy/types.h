@@ -1,0 +1,28 @@
+// Basic identifiers and geometry shared by the PHY and everything above it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cmap::phy {
+
+/// Link-layer node identifier (stands in for a MAC address).
+using NodeId = std::uint32_t;
+
+/// Destination id used for link-layer broadcast.
+inline constexpr NodeId kBroadcastId = std::numeric_limits<NodeId>::max();
+
+/// Node position in meters on the testbed floor plan.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace cmap::phy

@@ -1,0 +1,15 @@
+// Power unit conversions. Powers cross module boundaries in dBm (log scale,
+// human-readable); interference arithmetic happens in milliwatts (linear).
+#pragma once
+
+#include <cmath>
+
+namespace cmap::phy {
+
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+}  // namespace cmap::phy

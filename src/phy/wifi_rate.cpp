@@ -1,0 +1,48 @@
+#include "phy/wifi_rate.h"
+
+#include "sim/assert.h"
+
+namespace cmap::phy {
+namespace {
+
+constexpr RateInfo kRates[kNumWifiRates] = {
+    {WifiRate::k6Mbps, 6e6, Modulation::kBpsk, 0.5, 24},
+    {WifiRate::k9Mbps, 9e6, Modulation::kBpsk, 0.75, 36},
+    {WifiRate::k12Mbps, 12e6, Modulation::kQpsk, 0.5, 48},
+    {WifiRate::k18Mbps, 18e6, Modulation::kQpsk, 0.75, 72},
+    {WifiRate::k24Mbps, 24e6, Modulation::kQam16, 0.5, 96},
+    {WifiRate::k36Mbps, 36e6, Modulation::kQam16, 0.75, 144},
+    {WifiRate::k48Mbps, 48e6, Modulation::kQam64, 2.0 / 3.0, 192},
+    {WifiRate::k54Mbps, 54e6, Modulation::kQam64, 0.75, 216},
+};
+
+constexpr const char* kNames[kNumWifiRates] = {
+    "6Mbps", "9Mbps", "12Mbps", "18Mbps", "24Mbps", "36Mbps", "48Mbps",
+    "54Mbps"};
+
+}  // namespace
+
+const RateInfo& rate_info(WifiRate rate) {
+  const auto idx = static_cast<int>(rate);
+  CMAP_ASSERT(idx >= 0 && idx < kNumWifiRates, "invalid rate");
+  return kRates[idx];
+}
+
+const char* rate_name(WifiRate rate) {
+  return kNames[static_cast<int>(rate)];
+}
+
+sim::Time payload_airtime(WifiRate rate, std::size_t bytes) {
+  const auto& info = rate_info(rate);
+  const std::int64_t bits =
+      kServiceAndTailBits + 8 * static_cast<std::int64_t>(bytes);
+  const std::int64_t symbols =
+      (bits + info.data_bits_per_symbol - 1) / info.data_bits_per_symbol;
+  return symbols * kSymbolDuration;
+}
+
+sim::Time frame_airtime(WifiRate rate, std::size_t bytes) {
+  return kPlcpDuration + payload_airtime(rate, bytes);
+}
+
+}  // namespace cmap::phy

@@ -1,0 +1,58 @@
+// The 802.11a rate table and OFDM frame timing. The paper's experiments use
+// the 6, 12 and 18 Mbit/s rates; the full table is provided so the rate
+// adaptation extension (§3.5) has room to move.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace cmap::phy {
+
+enum class WifiRate : std::uint8_t {
+  k6Mbps = 0,
+  k9Mbps,
+  k12Mbps,
+  k18Mbps,
+  k24Mbps,
+  k36Mbps,
+  k48Mbps,
+  k54Mbps,
+};
+
+inline constexpr int kNumWifiRates = 8;
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+struct RateInfo {
+  WifiRate rate;
+  double bits_per_second;
+  Modulation modulation;
+  double code_rate;          // convolutional code rate (1/2, 2/3, 3/4)
+  int data_bits_per_symbol;  // data bits per 4 us OFDM symbol
+};
+
+/// Static description of an 802.11a rate.
+const RateInfo& rate_info(WifiRate rate);
+
+/// Human-readable name, e.g. "6Mbps".
+const char* rate_name(WifiRate rate);
+
+/// 802.11a PLCP preamble + SIGNAL field duration (16 us + 4 us).
+inline constexpr sim::Time kPlcpDuration = 20 * sim::kNsPerUs;
+
+/// OFDM symbol duration.
+inline constexpr sim::Time kSymbolDuration = 4 * sim::kNsPerUs;
+
+/// SERVICE (16) + tail (6) bits prepended/appended by the PHY.
+inline constexpr int kServiceAndTailBits = 22;
+
+/// Total airtime of a PPDU carrying `bytes` of MAC payload: PLCP preamble
+/// plus the payload rounded up to whole OFDM symbols.
+sim::Time frame_airtime(WifiRate rate, std::size_t bytes);
+
+/// Airtime of the payload portion alone (frame_airtime minus the preamble).
+sim::Time payload_airtime(WifiRate rate, std::size_t bytes);
+
+}  // namespace cmap::phy

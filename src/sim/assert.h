@@ -1,0 +1,16 @@
+// Always-on invariant checks. Simulation correctness depends on internal
+// invariants (event ordering, radio state machines); violating them must
+// abort loudly even in optimized builds rather than corrupt results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CMAP_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CMAP_ASSERT failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace cmap::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  CMAP_ASSERT(at >= current_time_, "event scheduled into the past");
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  e.cancelled = std::make_shared<bool>(false);
+  EventId id(e.cancelled);
+  heap_.push(std::move(e));
+  return id;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::run_one() {
+  drop_cancelled_head();
+  if (heap_.empty()) return false;
+  // Move the entry out before running: the callback may schedule new events
+  // and reshape the heap.
+  Entry e = heap_.top();
+  heap_.pop();
+  current_time_ = e.at;
+  *e.cancelled = true;  // mark as executed so EventId::pending() flips
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? kTimeForever : heap_.top().at;
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+}  // namespace cmap::sim

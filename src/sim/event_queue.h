@@ -1,0 +1,87 @@
+// A binary-heap event queue with O(log n) insertion and lazily cancelled
+// events. Events scheduled for the same instant execute in insertion order
+// (FIFO), which keeps protocol state machines deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cmap::sim {
+
+/// Handle to a scheduled event. Copyable; cancelling any copy cancels the
+/// event. A default-constructed EventId refers to no event.
+class EventId {
+ public:
+  EventId() = default;
+
+  /// True if the event is still pending (scheduled, not cancelled, not run).
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel the event if still pending. Safe to call repeatedly, on
+  /// already-run events, and on default-constructed ids.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // true => cancelled or executed
+};
+
+/// Time-ordered queue of callbacks. Not thread-safe: the simulation is
+/// single-threaded by design (determinism).
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. `at` must not precede the time of
+  /// the event currently being executed (no scheduling into the past).
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Pop and run the earliest pending event; returns false if none remain.
+  bool run_one();
+
+  /// Time of the earliest pending event, or kTimeForever when empty.
+  Time next_time();
+
+  bool empty();
+
+  /// Number of events executed so far (for micro-benchmarks and tests).
+  std::uint64_t executed() const { return executed_; }
+
+  /// Time of the event currently executing (or last executed).
+  Time current_time() const { return current_time_; }
+
+  /// Advance the clock without running events (run_until with an empty
+  /// window). Never moves backwards.
+  void advance_to(Time t) {
+    if (t > current_time_) current_time_ = t;
+  }
+
+ private:
+  struct Entry {
+    Time at = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-time events
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  Time current_time_ = 0;
+};
+
+}  // namespace cmap::sim

@@ -1,0 +1,21 @@
+#include "sim/log.h"
+
+namespace cmap::sim {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, Time now, const std::string& component,
+              const std::string& message) {
+  if (level > g_level) return;
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  std::fprintf(stderr, "[%12.6f] %s %-12s %s\n", to_seconds(now), tag,
+               component.c_str(), message.c_str());
+}
+
+}  // namespace cmap::sim

@@ -1,0 +1,22 @@
+// Minimal leveled logging tied to simulated time. Off by default so that
+// benchmark runs pay nothing; tests and examples can raise the level.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.h"
+
+namespace cmap::sim {
+
+enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level. Simulations are single-threaded; no locking needed.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line prefixed with the simulated timestamp.
+void log_line(LogLevel level, Time now, const std::string& component,
+              const std::string& message);
+
+}  // namespace cmap::sim

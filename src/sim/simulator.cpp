@@ -1,0 +1,23 @@
+#include "sim/simulator.h"
+
+namespace cmap::sim {
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && queue_.run_one()) {
+  }
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_) {
+    const Time next = queue_.next_time();
+    if (next > until) {
+      queue_.advance_to(until);
+      return;
+    }
+    queue_.run_one();
+  }
+}
+
+}  // namespace cmap::sim

@@ -1,0 +1,51 @@
+// Simulated time: a signed 64-bit count of nanoseconds since the start of
+// the simulation. Nanosecond resolution comfortably resolves one bit time
+// at the highest 802.11a rate (54 Mbit/s => ~18.5 ns/bit) while an int64_t
+// still spans ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace cmap::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+inline constexpr Time kNsPerUs = 1'000;
+inline constexpr Time kNsPerMs = 1'000'000;
+inline constexpr Time kNsPerSec = 1'000'000'000;
+
+/// Largest representable time; used as "never" for timeouts.
+inline constexpr Time kTimeForever = INT64_MAX;
+
+constexpr Time nanoseconds(std::int64_t ns) { return ns; }
+constexpr Time microseconds(double us) {
+  return static_cast<Time>(us * static_cast<double>(kNsPerUs));
+}
+constexpr Time milliseconds(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr Time seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kNsPerSec));
+}
+
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+
+/// Duration of `bits` transmitted at `bits_per_second`, rounded up so a
+/// transmission never ends earlier than the last bit.
+constexpr Time transmission_time(std::int64_t bits, double bits_per_second) {
+  const double exact = static_cast<double>(bits) / bits_per_second *
+                       static_cast<double>(kNsPerSec);
+  Time t = static_cast<Time>(exact);
+  if (static_cast<double>(t) < exact) ++t;
+  return t;
+}
+
+}  // namespace cmap::sim

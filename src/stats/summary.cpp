@@ -1,0 +1,91 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/assert.h"
+
+namespace cmap::stats {
+
+void Distribution::add(double value) {
+  values_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Distribution::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Distribution::min() const {
+  ensure_sorted();
+  CMAP_ASSERT(!sorted_.empty(), "min of empty distribution");
+  return sorted_.front();
+}
+
+double Distribution::max() const {
+  ensure_sorted();
+  CMAP_ASSERT(!sorted_.empty(), "max of empty distribution");
+  return sorted_.back();
+}
+
+double Distribution::mean() const {
+  CMAP_ASSERT(!values_.empty(), "mean of empty distribution");
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Distribution::stddev() const {
+  const double m = mean();
+  double sq = 0;
+  for (double v : values_) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values_.size()));
+}
+
+double Distribution::percentile(double p) const {
+  ensure_sorted();
+  CMAP_ASSERT(!sorted_.empty(), "percentile of empty distribution");
+  CMAP_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Distribution::cdf_at(double x) const {
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<Distribution::CdfRow> Distribution::cdf_rows() const {
+  ensure_sorted();
+  std::vector<CdfRow> rows;
+  rows.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    rows.push_back(
+        {sorted_[i],
+         static_cast<double>(i + 1) / static_cast<double>(sorted_.size())});
+  }
+  return rows;
+}
+
+std::string describe(const Distribution& d) {
+  if (d.empty()) return "(no samples)";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "median %.2f (p25 %.2f, p75 %.2f, mean %.2f, n=%zu)",
+                d.median(), d.percentile(25), d.percentile(75), d.mean(),
+                d.count());
+  return buf;
+}
+
+}  // namespace cmap::stats

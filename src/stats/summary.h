@@ -1,0 +1,47 @@
+// Distribution summaries for experiment outputs: percentiles, means, and
+// CDF rows matching the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cmap::stats {
+
+class Distribution {
+ public:
+  void add(double value);
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// Interpolated percentile; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Fraction of samples <= x (empirical CDF evaluated at x).
+  double cdf_at(double x) const;
+
+  /// Evenly spaced (value, cumulative fraction) rows for plotting a CDF.
+  struct CdfRow {
+    double value;
+    double fraction;
+  };
+  std::vector<CdfRow> cdf_rows() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Format helper: "median 4.60 (p25 2.51, p75 7.43, mean 4.87)".
+std::string describe(const Distribution& d);
+
+}  // namespace cmap::stats

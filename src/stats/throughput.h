@@ -1,0 +1,43 @@
+// Windowed goodput accounting, matching the paper's method (§5.1): count
+// unique packet bytes delivered during the measurement window (the last 60
+// of 100 seconds) and divide by the window length.
+#pragma once
+
+#include "sim/time.h"
+
+namespace cmap::stats {
+
+class ThroughputMeter {
+ public:
+  ThroughputMeter() = default;
+  ThroughputMeter(sim::Time window_begin, sim::Time window_end)
+      : begin_(window_begin), end_(window_end) {}
+
+  void set_window(sim::Time window_begin, sim::Time window_end) {
+    begin_ = window_begin;
+    end_ = window_end;
+  }
+
+  /// Record a delivered (non-duplicate) packet.
+  void on_packet(std::size_t bytes, sim::Time now) {
+    if (now < begin_ || now >= end_) return;
+    bits_ += 8.0 * static_cast<double>(bytes);
+    ++packets_;
+  }
+
+  double bits() const { return bits_; }
+  std::uint64_t packets() const { return packets_; }
+  double bps() const {
+    const double secs = sim::to_seconds(end_ - begin_);
+    return secs > 0 ? bits_ / secs : 0.0;
+  }
+  double mbps() const { return bps() / 1e6; }
+
+ private:
+  sim::Time begin_ = 0;
+  sim::Time end_ = 0;
+  double bits_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace cmap::stats

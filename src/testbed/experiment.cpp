@@ -1,0 +1,139 @@
+#include "testbed/experiment.h"
+
+#include "sim/assert.h"
+
+namespace cmap::testbed {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kCsma:
+      return "CS,acks";
+    case Scheme::kCsmaOffAcks:
+      return "CSoff,acks";
+    case Scheme::kCsmaOffNoAcks:
+      return "CSoff,noacks";
+    case Scheme::kCmap:
+      return "CMAP";
+    case Scheme::kCmapWin1:
+      return "CMAP,win=1";
+    case Scheme::kCmapIntegrated:
+      return "CMAP,integrated";
+  }
+  return "?";
+}
+
+bool scheme_is_cmap(Scheme scheme) {
+  return scheme == Scheme::kCmap || scheme == Scheme::kCmapWin1 ||
+         scheme == Scheme::kCmapIntegrated;
+}
+
+World::World(const Testbed& tb, const RunConfig& config)
+    : tb_(tb),
+      config_(config),
+      rng_(config.seed),
+      medium_(sim_, tb.propagation(), tb.config().medium,
+              sim::Rng(config.seed).substream(0xbead, 0)) {}
+
+void World::add_node(phy::NodeId id) {
+  if (nodes_.count(id)) return;
+  NodeState st;
+  phy::RadioConfig rc = tb_.config().radio;
+  // Integrated salvage (PPR) is a radio capability of that scheme.
+  rc.salvage_enabled = config_.scheme == Scheme::kCmapIntegrated;
+  st.radio = std::make_unique<phy::Radio>(sim_, medium_, id, tb_.position(id),
+                                          rc, tb_.error_model(),
+                                          rng_.substream(0x4ad10, id));
+
+  if (scheme_is_cmap(config_.scheme)) {
+    core::CmapConfig cc;
+    if (config_.scheme == Scheme::kCmapIntegrated) {
+      cc = core::CmapConfig::integrated_defaults();
+    }
+    if (config_.scheme == Scheme::kCmapWin1) cc.nwindow_vps = 1;
+    if (config_.cmap_nvpkt) cc.nvpkt = *config_.cmap_nvpkt;
+    if (config_.cmap_nwindow) cc.nwindow_vps = *config_.cmap_nwindow;
+    cc.data_rate = config_.data_rate;
+    cc.per_dest_queues = config_.per_dest_queues;
+    cc.annotate_rates = config_.annotate_rates;
+    st.mac = std::make_unique<core::CmapMac>(sim_, *st.radio, cc,
+                                             rng_.substream(0x3ac, id));
+  } else {
+    mac80211::DcfConfig dc;
+    dc.carrier_sense = config_.scheme == Scheme::kCsma;
+    dc.acks = config_.scheme != Scheme::kCsmaOffNoAcks;
+    dc.data_rate = config_.data_rate;
+    st.mac = std::make_unique<mac80211::DcfMac>(sim_, *st.radio, dc,
+                                                rng_.substream(0x3ac, id));
+  }
+  st.sink = std::make_unique<net::PacketSink>(*st.mac, sim_);
+  st.sink->set_window(config_.warmup, config_.duration);
+  nodes_[id] = std::move(st);
+}
+
+void World::add_saturated_flow(phy::NodeId src, phy::NodeId dst) {
+  add_node(src);
+  if (dst != phy::kBroadcastId) add_node(dst);
+  NodeState& st = nodes_.at(src);
+  CMAP_ASSERT(!st.source && !st.batch, "node already has a source");
+  st.source = std::make_unique<net::SaturatedSource>(
+      *st.mac, src, dst, config_.packet_bytes);
+}
+
+void World::add_batch_flow(phy::NodeId src, phy::NodeId dst,
+                           std::uint64_t count) {
+  add_node(src);
+  if (dst != phy::kBroadcastId) add_node(dst);
+  NodeState& st = nodes_.at(src);
+  CMAP_ASSERT(!st.source && !st.batch, "node already has a source");
+  st.batch = std::make_unique<net::BatchSource>(*st.mac, src, dst, count,
+                                                config_.packet_bytes);
+}
+
+void World::set_measurement_window(sim::Time begin, sim::Time end) {
+  for (auto& [id, st] : nodes_) st.sink->set_window(begin, end);
+}
+
+mac::Mac& World::mac(phy::NodeId id) { return *nodes_.at(id).mac; }
+net::PacketSink& World::sink(phy::NodeId id) { return *nodes_.at(id).sink; }
+phy::Radio& World::radio(phy::NodeId id) { return *nodes_.at(id).radio; }
+
+core::CmapMac* World::cmap(phy::NodeId id) {
+  return dynamic_cast<core::CmapMac*>(nodes_.at(id).mac.get());
+}
+
+mac80211::DcfMac* World::dcf(phy::NodeId id) {
+  return dynamic_cast<mac80211::DcfMac*>(nodes_.at(id).mac.get());
+}
+
+RunResult run_flows(const Testbed& tb, const std::vector<Flow>& flows,
+                    const RunConfig& config) {
+  World world(tb, config);
+  for (const auto& f : flows) {
+    world.add_saturated_flow(f.src, f.dst);
+  }
+  world.run(config.duration);
+
+  RunResult result;
+  for (const auto& f : flows) {
+    FlowResult fr;
+    fr.flow = f;
+    fr.mbps = world.sink(f.dst).meter().mbps();
+    fr.unique_packets = world.sink(f.dst).unique_packets();
+    fr.duplicates = world.sink(f.dst).duplicate_packets();
+    fr.sender_stats = world.mac(f.src).stats();
+    if (auto* sender = world.cmap(f.src)) {
+      fr.vps_sent = sender->counters().vps_sent;
+      fr.defer_events = sender->counters().defer_events;
+      fr.retx_timeouts = sender->counters().retx_timeouts;
+    }
+    if (auto* receiver = world.cmap(f.dst)) {
+      fr.rx_vps_delim = receiver->counters().vps_delim_received;
+      fr.rx_vps_header = receiver->counters().vps_header_received;
+    }
+    result.flows.push_back(fr);
+    result.aggregate_mbps += fr.mbps;
+  }
+  return result;
+}
+
+}  // namespace cmap::testbed

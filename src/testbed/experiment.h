@@ -1,0 +1,122 @@
+// Experiment harness: builds a live world (radios + MACs + traffic) over a
+// measured Testbed and runs one configuration, reporting the paper's
+// metrics (windowed goodput of non-duplicate packets, §5.1). The Scheme
+// enum spans every MAC variant that appears in the evaluation's figures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cmap_mac.h"
+#include "mac80211/dcf.h"
+#include "net/traffic.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "testbed/testbed.h"
+
+namespace cmap::testbed {
+
+enum class Scheme {
+  kCsma,            // 802.11: carrier sense on, link-layer ACKs on
+  kCsmaOffAcks,     // carrier sense off, ACKs on
+  kCsmaOffNoAcks,   // carrier sense off, ACKs off
+  kCmap,            // CMAP, prototype (shim) configuration
+  kCmapWin1,        // CMAP with a send window of one virtual packet
+  kCmapIntegrated,  // CMAP over the integrated/PPR PHY realization
+};
+
+const char* scheme_name(Scheme scheme);
+bool scheme_is_cmap(Scheme scheme);
+
+struct Flow {
+  phy::NodeId src = 0;
+  phy::NodeId dst = 0;
+};
+
+struct RunConfig {
+  Scheme scheme = Scheme::kCmap;
+  sim::Time duration = sim::seconds(100);
+  sim::Time warmup = sim::seconds(40);  // measure over the last 60 s
+  std::uint64_t seed = 1;
+  phy::WifiRate data_rate = phy::WifiRate::k6Mbps;
+  std::size_t packet_bytes = 1400;
+  bool per_dest_queues = false;  // §3.2 optimization (CMAP only)
+  bool annotate_rates = false;   // §3.5 extension (CMAP only)
+  std::optional<int> cmap_nvpkt;    // override Nvpkt
+  std::optional<int> cmap_nwindow;  // override Nwindow (in VPs)
+};
+
+/// A live simulation world. Benches with bespoke needs (mesh phases,
+/// mid-run inspection) use this directly; run_flows() covers the common
+/// saturated-flows case.
+class World {
+ public:
+  World(const Testbed& tb, const RunConfig& config);
+
+  /// Instantiate radio + MAC + sink for a testbed node (idempotent).
+  void add_node(phy::NodeId id);
+
+  /// Saturate `src` toward `dst` (kBroadcastId allowed for CMAP §3.6).
+  void add_saturated_flow(phy::NodeId src, phy::NodeId dst);
+
+  /// Enqueue a fixed batch instead (mesh dissemination phases).
+  void add_batch_flow(phy::NodeId src, phy::NodeId dst, std::uint64_t count);
+
+  /// Set every sink's measurement window.
+  void set_measurement_window(sim::Time begin, sim::Time end);
+
+  void run(sim::Time until) { sim_.run_until(until); }
+
+  sim::Simulator& simulator() { return sim_; }
+  mac::Mac& mac(phy::NodeId id);
+  net::PacketSink& sink(phy::NodeId id);
+  core::CmapMac* cmap(phy::NodeId id);          // nullptr for DCF schemes
+  mac80211::DcfMac* dcf(phy::NodeId id);        // nullptr for CMAP schemes
+  phy::Radio& radio(phy::NodeId id);
+  const RunConfig& config() const { return config_; }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<phy::Radio> radio;
+    std::unique_ptr<mac::Mac> mac;
+    std::unique_ptr<net::PacketSink> sink;
+    std::unique_ptr<net::SaturatedSource> source;
+    std::unique_ptr<net::BatchSource> batch;
+  };
+
+  const Testbed& tb_;
+  RunConfig config_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  phy::Medium medium_;
+  std::map<phy::NodeId, NodeState> nodes_;
+};
+
+struct FlowResult {
+  Flow flow;
+  double mbps = 0.0;
+  std::uint64_t unique_packets = 0;
+  std::uint64_t duplicates = 0;
+  mac::MacStats sender_stats;
+  // CMAP-only observability (zero under DCF schemes).
+  std::uint64_t vps_sent = 0;
+  std::uint64_t rx_vps_delim = 0;    // receiver saw header or trailer
+  std::uint64_t rx_vps_header = 0;   // receiver saw the header
+  std::uint64_t defer_events = 0;
+  std::uint64_t retx_timeouts = 0;
+};
+
+struct RunResult {
+  std::vector<FlowResult> flows;
+  double aggregate_mbps = 0.0;
+};
+
+/// Run saturated unicast flows under one scheme and report per-flow and
+/// aggregate goodput over the measurement window.
+RunResult run_flows(const Testbed& tb, const std::vector<Flow>& flows,
+                    const RunConfig& config);
+
+}  // namespace cmap::testbed

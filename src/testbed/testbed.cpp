@@ -1,0 +1,163 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/units.h"
+#include "phy/wifi_rate.h"
+#include "sim/assert.h"
+
+namespace cmap::testbed {
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  config_.prop.seed = config_.seed;
+  propagation_ = std::make_shared<phy::LogDistanceShadowing>(config_.prop);
+  error_model_ = std::make_shared<phy::NistErrorModel>();
+
+  // Scatter nodes uniformly over the floor, with a minimum separation so
+  // no two "machines sit in the same rack".
+  sim::Rng rng(config_.seed);
+  sim::Rng place = rng.substream(0x91ace, 0);
+  const double min_sep = 2.0;
+  positions_.reserve(config_.num_nodes);
+  while (positions_.size() < static_cast<std::size_t>(config_.num_nodes)) {
+    phy::Position p{place.uniform(0.0, config_.width_m),
+                    place.uniform(0.0, config_.height_m)};
+    bool ok = true;
+    for (const auto& q : positions_) {
+      if (phy::distance(p, q) < min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) positions_.push_back(p);
+  }
+
+  // Measurement pass: PRR and signal strength per directed pair.
+  const int n = config_.num_nodes;
+  prr_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  signal_.assign(static_cast<std::size_t>(n) * n, -300.0);
+  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
+      if (i == j) continue;
+      const double s = propagation_->rx_power_dbm(
+          config_.radio.tx_power_dbm, i, j, positions_[i], positions_[j]);
+      signal_[i * n + j] = s;
+      prr_[i * n + j] = compute_prr(i, j);
+      if (s >= config_.medium.delivery_floor_dbm) {
+        connected_signals_.push_back(s);
+      }
+    }
+  }
+  std::sort(connected_signals_.begin(), connected_signals_.end());
+}
+
+double Testbed::compute_prr(phy::NodeId from, phy::NodeId to) const {
+  const double mean_dbm = propagation_->rx_power_dbm(
+      config_.radio.tx_power_dbm, from, to, positions_[from], positions_[to]);
+  const double noise_mw = phy::dbm_to_mw(config_.radio.noise_floor_dbm);
+  const double impl = phy::db_to_linear(config_.radio.implementation_loss_db);
+  const double bits =
+      8.0 * static_cast<double>(config_.probe_bytes + 28);  // + MAC overhead
+  // Average packet success probability over the fading distribution,
+  // gating on the preamble lock conditions the live radio applies.
+  sim::Rng rng = sim::Rng(config_.seed).substream(0xfade, from * 1000 + to);
+  double sum = 0.0;
+  const int samples = std::max(1, config_.prr_fading_samples);
+  for (int s = 0; s < samples; ++s) {
+    const double fade =
+        config_.medium.fading_sigma_db > 0
+            ? rng.normal(0.0, config_.medium.fading_sigma_db)
+            : 0.0;
+    const double p_dbm = mean_dbm + fade;
+    if (p_dbm < config_.radio.sensitivity_dbm) continue;  // no lock
+    const double sinr =
+        phy::dbm_to_mw(p_dbm) / noise_mw;
+    if (phy::linear_to_db(sinr) < config_.radio.preamble_min_sinr_db) {
+      continue;
+    }
+    sum += error_model_->chunk_success(sinr / impl, bits, config_.probe_rate);
+  }
+  return sum / samples;
+}
+
+double Testbed::prr(phy::NodeId from, phy::NodeId to) const {
+  CMAP_ASSERT(from != to, "self link");
+  return prr_[from * config_.num_nodes + to];
+}
+
+double Testbed::signal_dbm(phy::NodeId from, phy::NodeId to) const {
+  CMAP_ASSERT(from != to, "self link");
+  return signal_[from * config_.num_nodes + to];
+}
+
+double Testbed::signal_percentile(double p) const {
+  CMAP_ASSERT(!connected_signals_.empty(), "no connected links");
+  const double rank =
+      p / 100.0 * static_cast<double>(connected_signals_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= connected_signals_.size()) return connected_signals_.back();
+  return connected_signals_[lo] * (1 - frac) +
+         connected_signals_[lo + 1] * frac;
+}
+
+bool Testbed::in_range(phy::NodeId a, phy::NodeId b) const {
+  const double p10 = signal_percentile(10.0);
+  return prr(a, b) > 0.2 && prr(b, a) > 0.2 && signal_dbm(a, b) >= p10 &&
+         signal_dbm(b, a) >= p10;
+}
+
+bool Testbed::potential_link(phy::NodeId a, phy::NodeId b) const {
+  const double p10 = signal_percentile(10.0);
+  return prr(a, b) > 0.9 && prr(b, a) > 0.9 && signal_dbm(a, b) >= p10 &&
+         signal_dbm(b, a) >= p10;
+}
+
+bool Testbed::strong_signal(phy::NodeId from, phy::NodeId to) const {
+  return signal_dbm(from, to) >= signal_percentile(90.0);
+}
+
+Testbed::LinkClasses Testbed::link_classes() const {
+  LinkClasses out;
+  const int n = config_.num_nodes;
+  int dead = 0, mid = 0, perfect = 0;
+  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
+      if (i == j) continue;
+      if (signal_[i * n + j] < config_.medium.delivery_floor_dbm) continue;
+      ++out.connected_pairs;
+      const double p = prr_[i * n + j];
+      if (p < 0.1) {
+        ++dead;
+      } else if (p < 0.95) {
+        ++mid;
+      } else {
+        ++perfect;
+      }
+    }
+  }
+  if (out.connected_pairs > 0) {
+    const double total = out.connected_pairs;
+    out.frac_dead = dead / total;
+    out.frac_mid = mid / total;
+    out.frac_perfect = perfect / total;
+  }
+  return out;
+}
+
+double Testbed::mean_degree() const {
+  const int n = config_.num_nodes;
+  double total = 0;
+  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+    int deg = 0;
+    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
+      if (i == j) continue;
+      if (prr_[i * n + j] > 0.1 || prr_[j * n + i] > 0.1) ++deg;
+    }
+    total += deg;
+  }
+  return total / n;
+}
+
+}  // namespace cmap::testbed

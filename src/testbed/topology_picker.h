@@ -1,0 +1,80 @@
+// Topology selection for every experiment in §5, implementing the
+// constraints of Fig. 11(a)-(d) plus the access-point regions of §5.6 and
+// the sender/receiver/interferer triples of §5.4 over a measured Testbed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phy/types.h"
+#include "sim/random.h"
+#include "testbed/testbed.h"
+
+namespace cmap::testbed {
+
+/// Two sender->receiver links evaluated concurrently.
+struct LinkPair {
+  phy::NodeId s1 = 0, r1 = 0;
+  phy::NodeId s2 = 0, r2 = 0;
+};
+
+/// One §5.6 WLAN scenario: per cell, an AP-client flow (direction chosen
+/// at random, per the paper).
+struct ApScenario {
+  struct Cell {
+    phy::NodeId ap = 0;
+    phy::NodeId client = 0;
+    bool downlink = false;  // AP -> client if true
+    phy::NodeId sender() const { return downlink ? ap : client; }
+    phy::NodeId receiver() const { return downlink ? client : ap; }
+  };
+  std::vector<Cell> cells;
+};
+
+/// One §5.7 two-hop dissemination mesh: S broadcasts to the As, each Ai
+/// forwards to Bi.
+struct MeshScenario {
+  phy::NodeId s = 0;
+  std::vector<phy::NodeId> a;
+  std::vector<phy::NodeId> b;
+};
+
+/// One §5.4 sender/receiver/interferer triple.
+struct Triple {
+  phy::NodeId s = 0, r = 0, i = 0;
+};
+
+class TopologyPicker {
+ public:
+  explicit TopologyPicker(const Testbed& tb) : tb_(tb) {}
+
+  /// Fig. 11(a): senders in range, strong sender->receiver signals, all
+  /// cross-pair signals weak — the exposed-terminal configuration.
+  std::vector<LinkPair> exposed_pairs(int count, sim::Rng& rng) const;
+
+  /// Fig. 11(b): senders in range, links potential, no other constraint.
+  std::vector<LinkPair> in_range_pairs(int count, sim::Rng& rng) const;
+
+  /// Fig. 11(c): each receiver has a potential link to BOTH senders;
+  /// senders out of range — the hidden-terminal configuration.
+  std::vector<LinkPair> hidden_pairs(int count, sim::Rng& rng) const;
+
+  /// §5.6: n_aps access points in distinct regions, pairwise out of range,
+  /// each with a random client and flow direction.
+  std::optional<ApScenario> ap_scenario(int n_aps, sim::Rng& rng) const;
+
+  /// §5.7: S with >= width potential-link neighbours Ai, each Ai with a
+  /// forwarding target Bi distinct from the other participants.
+  std::optional<MeshScenario> mesh_scenario(int width, sim::Rng& rng) const;
+
+  /// §5.4: potential S->R links with a uniformly random interferer.
+  std::vector<Triple> interferer_triples(int count, sim::Rng& rng) const;
+
+  /// All directed links satisfying the potential-transmission predicate.
+  std::vector<std::pair<phy::NodeId, phy::NodeId>> potential_links() const;
+
+ private:
+  const Testbed& tb_;
+};
+
+}  // namespace cmap::testbed

@@ -1,0 +1,127 @@
+#include "core/defer_table.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace cmap::core {
+namespace {
+
+constexpr phy::NodeId kMe = 1;
+constexpr phy::NodeId kReporter = 2;   // v in the paper's Fig. 4
+constexpr phy::NodeId kInterferer = 3; // x
+constexpr phy::NodeId kOther = 4;      // y / z
+
+InterfererEntry entry(phy::NodeId source, phy::NodeId interferer) {
+  InterfererEntry e;
+  e.source = source;
+  e.interferer = interferer;
+  return e;
+}
+
+TEST(DeferTable, Rule1AddsDeferToReporterWhileInterfererActive) {
+  // u receives v's list containing (u, x): add (v : x -> *).
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  ASSERT_EQ(t.size(), 1u);
+  // Defer pattern 2: sending to v while x transmits to anyone.
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther, 1));
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, 17, 1));
+}
+
+TEST(DeferTable, Rule1DoesNotDeferToOtherDestinations) {
+  // "u need not defer while transmitting to all destinations, e.g. z."
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  EXPECT_FALSE(t.should_defer(kOther, kInterferer, 17, 1));
+}
+
+TEST(DeferTable, Rule2AddsGlobalDeferWhileVictimTransmissionActive) {
+  // x receives v's list containing (u, x): add (* : u -> v).
+  DeferTable t(sim::seconds(10));
+  const phy::NodeId u = 5;
+  t.apply_interferer_list(kMe, kReporter, {entry(u, kMe)}, 0);
+  ASSERT_EQ(t.size(), 1u);
+  // Defer pattern 1: x must defer to u -> v regardless of x's destination.
+  EXPECT_TRUE(t.should_defer(kOther, u, kReporter, 1));
+  EXPECT_TRUE(t.should_defer(42, u, kReporter, 1));
+}
+
+TEST(DeferTable, Rule2OnlyMatchesTheVictimPair) {
+  // "x can transmit freely when u is transmitting to a node other than v."
+  DeferTable t(sim::seconds(10));
+  const phy::NodeId u = 5;
+  t.apply_interferer_list(kMe, kReporter, {entry(u, kMe)}, 0);
+  EXPECT_FALSE(t.should_defer(kOther, u, kOther, 1));
+  EXPECT_FALSE(t.should_defer(kOther, u, 42, 1));
+}
+
+TEST(DeferTable, UninvolvedEntriesAddNothing) {
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(7, 8)}, 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(DeferTable, BothRulesCanFireFromOneList) {
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(
+      kMe, kReporter, {entry(kMe, kInterferer), entry(kOther, kMe)}, 0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, 9, 1));      // rule 1
+  EXPECT_TRUE(t.should_defer(17, kOther, kReporter, 1));          // rule 2
+}
+
+TEST(DeferTable, EntriesExpireAfterTtl) {
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther,
+                             sim::seconds(9)));
+  EXPECT_FALSE(t.should_defer(kReporter, kInterferer, kOther,
+                              sim::seconds(10)));
+  t.expire(sim::seconds(11));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(DeferTable, ReapplyRefreshesExpiryWithoutDuplicates) {
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)},
+                          sim::seconds(8));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther,
+                             sim::seconds(15)));
+}
+
+TEST(DeferTable, SelfAsBothSourceAndInterfererIgnoredGracefully) {
+  DeferTable t(sim::seconds(10));
+  // Degenerate entry (me, me) would mean we interfere with ourselves.
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kMe)}, 0);
+  // Both rules add their entries; neither should match sending to the
+  // reporter while someone ELSE transmits.
+  EXPECT_FALSE(t.should_defer(kReporter, kOther, 9, 1));
+}
+
+TEST(DeferTableRates, AnnotatedEntriesMatchOnlyObservedRates) {
+  DeferTable t(sim::seconds(10), /*annotate_rates=*/true);
+  InterfererEntry e = entry(kMe, kInterferer);
+  e.source_rate = phy::WifiRate::k6Mbps;      // my rate when it was observed
+  e.interferer_rate = phy::WifiRate::k12Mbps; // their rate
+  t.apply_interferer_list(kMe, kReporter, {e}, 0);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther, 1,
+                             phy::WifiRate::k6Mbps, phy::WifiRate::k12Mbps));
+  // A different rate combination is a different conflict-map cell (§3.5).
+  EXPECT_FALSE(t.should_defer(kReporter, kInterferer, kOther, 1,
+                              phy::WifiRate::k18Mbps, phy::WifiRate::k12Mbps));
+  EXPECT_FALSE(t.should_defer(kReporter, kInterferer, kOther, 1,
+                              phy::WifiRate::k6Mbps, phy::WifiRate::k18Mbps));
+}
+
+TEST(DeferTableRates, UnannotatedTableIgnoresRates) {
+  DeferTable t(sim::seconds(10), /*annotate_rates=*/false);
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther, 1,
+                             phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps));
+}
+
+}  // namespace
+}  // namespace cmap::core

@@ -1,0 +1,122 @@
+#include "core/interferer_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace cmap::core {
+namespace {
+
+constexpr phy::NodeId kSender = 1;
+constexpr phy::NodeId kInterferer = 2;
+constexpr phy::NodeId kOther = 3;
+const std::vector<phy::WifiRate> kRate6 = {phy::WifiRate::k6Mbps};
+
+InterfererTracker make_tracker() {
+  return InterfererTracker(/*l_interf=*/0.5, /*min_samples=*/16,
+                           /*halflife=*/sim::seconds(2));
+}
+
+void feed(InterfererTracker& t, int lost, int ok, sim::Time at = 1) {
+  for (int i = 0; i < lost; ++i) {
+    t.observe(kSender, phy::WifiRate::k6Mbps, {kInterferer}, kRate6, false,
+              at);
+  }
+  for (int i = 0; i < ok; ++i) {
+    t.observe(kSender, phy::WifiRate::k6Mbps, {kInterferer}, kRate6, true,
+              at);
+  }
+}
+
+TEST(InterfererTracker, HighConditionalLossCreatesEntry) {
+  auto t = make_tracker();
+  feed(t, /*lost=*/20, /*ok=*/4);
+  const auto list = t.snapshot(1);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].source, kSender);
+  EXPECT_EQ(list[0].interferer, kInterferer);
+}
+
+TEST(InterfererTracker, MildInterferenceDoesNotCreateEntry) {
+  // Loss below l_interf = 0.5: concurrent transmission is net-beneficial
+  // (§3.1: "linterf must be 0.5"), so no interferer entry.
+  auto t = make_tracker();
+  feed(t, /*lost=*/8, /*ok=*/16);
+  EXPECT_TRUE(t.snapshot(1).empty());
+}
+
+TEST(InterfererTracker, InsufficientEvidenceCreatesNoEntry) {
+  auto t = make_tracker();
+  feed(t, /*lost=*/8, /*ok=*/0);  // 100% loss but only 8 samples (< 16)
+  EXPECT_TRUE(t.snapshot(1).empty());
+}
+
+TEST(InterfererTracker, BaselineLossDoesNotBlameBystanders) {
+  auto t = make_tracker();
+  for (int i = 0; i < 40; ++i) {
+    t.observe(kSender, phy::WifiRate::k6Mbps, {}, {}, false, 1);
+  }
+  EXPECT_TRUE(t.snapshot(1).empty());
+  EXPECT_DOUBLE_EQ(t.baseline_loss_rate(kSender), 1.0);
+}
+
+TEST(InterfererTracker, LossRateQueries) {
+  auto t = make_tracker();
+  feed(t, 15, 5);
+  EXPECT_NEAR(t.loss_rate(kSender, kInterferer), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(t.loss_rate(kSender, kOther), -1.0);
+  EXPECT_DOUBLE_EQ(t.baseline_loss_rate(kSender), -1.0);
+}
+
+TEST(InterfererTracker, MultipleConcurrentTransmittersAllCharged) {
+  auto t = make_tracker();
+  const std::vector<phy::NodeId> both = {kInterferer, kOther};
+  const std::vector<phy::WifiRate> rates = {phy::WifiRate::k6Mbps,
+                                            phy::WifiRate::k6Mbps};
+  for (int i = 0; i < 20; ++i) {
+    t.observe(kSender, phy::WifiRate::k6Mbps, both, rates, false, 1);
+  }
+  const auto list = t.snapshot(1);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(InterfererTracker, EvidenceDecaysAndEntryAgesOut) {
+  auto t = make_tracker();
+  feed(t, 20, 4, sim::seconds(1));
+  EXPECT_EQ(t.snapshot(sim::seconds(1)).size(), 1u);
+  // After many halflives the expected-count drops below min_samples.
+  EXPECT_TRUE(t.snapshot(sim::seconds(30)).empty());
+}
+
+TEST(InterfererTracker, RecoveryFlipsEntryOff) {
+  auto t = make_tracker();
+  feed(t, 20, 4, sim::seconds(1));
+  ASSERT_EQ(t.snapshot(sim::seconds(1)).size(), 1u);
+  // Conditions improve: successes now dominate (channel changed).
+  for (int i = 0; i < 60; ++i) {
+    t.observe(kSender, phy::WifiRate::k6Mbps, {kInterferer}, kRate6, true,
+              sim::seconds(4));
+  }
+  EXPECT_TRUE(t.snapshot(sim::seconds(4)).empty());
+}
+
+TEST(InterfererTracker, SnapshotCarriesRateAnnotations) {
+  auto t = make_tracker();
+  const std::vector<phy::WifiRate> r18 = {phy::WifiRate::k18Mbps};
+  for (int i = 0; i < 20; ++i) {
+    t.observe(kSender, phy::WifiRate::k12Mbps, {kInterferer}, r18, false, 1);
+  }
+  const auto list = t.snapshot(1);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].source_rate, phy::WifiRate::k12Mbps);
+  EXPECT_EQ(list[0].interferer_rate, phy::WifiRate::k18Mbps);
+}
+
+TEST(InterfererTracker, ExactlyAtThresholdIsNotInterference) {
+  auto t = make_tracker();
+  feed(t, 16, 16);  // exactly 0.5
+  EXPECT_TRUE(t.snapshot(1).empty());
+}
+
+}  // namespace
+}  // namespace cmap::core

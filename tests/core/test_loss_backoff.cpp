@@ -1,0 +1,86 @@
+#include "core/loss_backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::core {
+namespace {
+
+LossBackoff make() {
+  return LossBackoff(sim::milliseconds(5), sim::milliseconds(320), 0.5);
+}
+
+TEST(LossBackoff, StartsAtZero) {
+  auto b = make();
+  EXPECT_EQ(b.cw(), 0);
+  sim::Rng rng(1);
+  EXPECT_EQ(b.draw(rng), 0);
+}
+
+TEST(LossBackoff, HealthyAckKeepsZero) {
+  auto b = make();
+  b.on_ack_loss_rate(0.1);
+  EXPECT_EQ(b.cw(), 0);
+}
+
+TEST(LossBackoff, LossAboveThresholdStartsWindow) {
+  auto b = make();
+  b.on_ack_loss_rate(0.8);
+  EXPECT_EQ(b.cw(), sim::milliseconds(5));
+}
+
+TEST(LossBackoff, ConsecutiveLossDoubles) {
+  auto b = make();
+  b.on_ack_loss_rate(0.8);
+  b.on_ack_loss_rate(0.9);
+  EXPECT_EQ(b.cw(), sim::milliseconds(10));
+  b.on_ack_loss_rate(0.9);
+  EXPECT_EQ(b.cw(), sim::milliseconds(20));
+}
+
+TEST(LossBackoff, CapsAtMax) {
+  auto b = make();
+  for (int i = 0; i < 20; ++i) b.on_ack_loss_rate(1.0);
+  EXPECT_EQ(b.cw(), sim::milliseconds(320));
+}
+
+TEST(LossBackoff, HealthyAckResetsAfterGrowth) {
+  auto b = make();
+  for (int i = 0; i < 5; ++i) b.on_ack_loss_rate(1.0);
+  b.on_ack_loss_rate(0.2);
+  EXPECT_EQ(b.cw(), 0);
+}
+
+TEST(LossBackoff, ThresholdIsExclusive) {
+  auto b = make();
+  b.on_ack_loss_rate(0.5);  // exactly l_backoff: not "above"
+  EXPECT_EQ(b.cw(), 0);
+}
+
+TEST(LossBackoff, DrawIsWithinWindow) {
+  auto b = make();
+  b.on_ack_loss_rate(1.0);
+  b.on_ack_loss_rate(1.0);
+  sim::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const sim::Time d = b.draw(rng);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, b.cw());
+  }
+}
+
+TEST(LossBackoff, DrawCoversTheWindow) {
+  auto b = make();
+  b.on_ack_loss_rate(1.0);  // CW = 5 ms
+  sim::Rng rng(9);
+  sim::Time lo = sim::kTimeForever, hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const sim::Time d = b.draw(rng);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, sim::milliseconds(1));
+  EXPECT_GT(hi, sim::milliseconds(4));
+}
+
+}  // namespace
+}  // namespace cmap::core

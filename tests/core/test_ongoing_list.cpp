@@ -1,0 +1,83 @@
+#include "core/ongoing_list.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::core {
+namespace {
+
+VpDescriptor desc(phy::NodeId src, phy::NodeId dst) {
+  VpDescriptor d;
+  d.src = src;
+  d.dst = dst;
+  return d;
+}
+
+TEST(OngoingList, HeaderOpensEntryUntilAnnouncedEnd) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(60));
+  EXPECT_TRUE(l.node_busy(1, sim::milliseconds(30)));
+  EXPECT_TRUE(l.node_busy(2, sim::milliseconds(30)));
+  EXPECT_FALSE(l.node_busy(3, sim::milliseconds(30)));
+  EXPECT_FALSE(l.node_busy(1, sim::milliseconds(60)));  // end is exclusive
+}
+
+TEST(OngoingList, TrailerClosesEntry) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(60));
+  // Trailer arrives early (VP shorter than announced): closes at now.
+  l.note(desc(1, 2), sim::milliseconds(40));
+  EXPECT_FALSE(l.node_busy(1, sim::milliseconds(50)));
+}
+
+TEST(OngoingList, ActiveListsOnlyLiveEntries) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(10));
+  l.note(desc(3, 4), sim::milliseconds(100));
+  const auto at50 = l.active(sim::milliseconds(50));
+  ASSERT_EQ(at50.size(), 1u);
+  EXPECT_EQ(at50[0].src, 3u);
+  EXPECT_EQ(at50[0].dst, 4u);
+}
+
+TEST(OngoingList, SamePairUpdatesInPlace) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(60));
+  l.note(desc(1, 2), sim::milliseconds(120));
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_TRUE(l.node_busy(1, sim::milliseconds(90)));
+}
+
+TEST(OngoingList, EndOfReportsRemainingEntry) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(60));
+  EXPECT_EQ(l.end_of(1, 2, sim::milliseconds(30)), sim::milliseconds(60));
+  EXPECT_EQ(l.end_of(1, 2, sim::milliseconds(61)), 0);
+  EXPECT_EQ(l.end_of(2, 1, sim::milliseconds(30)), 0);
+}
+
+TEST(OngoingList, ExpireDropsDeadEntries) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(10));
+  l.note(desc(3, 4), sim::milliseconds(100));
+  l.expire(sim::milliseconds(50));
+  EXPECT_EQ(l.size(), 1u);
+}
+
+TEST(OngoingList, DifferentPairsCoexist) {
+  OngoingList l;
+  l.note(desc(1, 2), sim::milliseconds(60));
+  l.note(desc(1, 3), sim::milliseconds(80));  // same src, different dst
+  EXPECT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.active(sim::milliseconds(70)).size(), 1u);
+}
+
+TEST(OngoingList, RateIsTracked) {
+  OngoingList l;
+  VpDescriptor d = desc(1, 2);
+  d.data_rate = phy::WifiRate::k18Mbps;
+  l.note(d, sim::milliseconds(60));
+  EXPECT_EQ(l.active(0).at(0).data_rate, phy::WifiRate::k18Mbps);
+}
+
+}  // namespace
+}  // namespace cmap::core

@@ -1,0 +1,119 @@
+#include "core/rate_adaptation.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::core {
+namespace {
+
+constexpr phy::NodeId kDst = 2;
+constexpr phy::NodeId kP = 3, kQ = 4;
+
+OngoingTx ongoing_until(sim::Time end,
+                        phy::WifiRate rate = phy::WifiRate::k6Mbps) {
+  return OngoingTx{kP, kQ, end, rate};
+}
+
+ConflictAwareRateChooser chooser() {
+  return ConflictAwareRateChooser(
+      {phy::WifiRate::k6Mbps, phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps});
+}
+
+// Defer table that forbids concurrency at exactly the rates listed.
+DeferTable table_forbidding(std::initializer_list<phy::WifiRate> my_rates) {
+  DeferTable t(sim::seconds(100), /*annotate_rates=*/true);
+  for (phy::WifiRate r : my_rates) {
+    InterfererEntry e;
+    e.source = 1;  // me
+    e.interferer = kP;
+    e.source_rate = r;
+    e.interferer_rate = phy::WifiRate::k6Mbps;
+    t.apply_interferer_list(1, kDst, {e}, 0);
+  }
+  return t;
+}
+
+TEST(RateChooser, IdleChannelPicksFastestRate) {
+  const auto c = chooser().choose_idle(1400);
+  EXPECT_EQ(c.rate, phy::WifiRate::k54Mbps);
+  EXPECT_FALSE(c.defer);
+  EXPECT_GT(c.expected_bps, 20e6);
+}
+
+TEST(RateChooser, NoConflictMeansConcurrentAtFastRate) {
+  DeferTable empty(sim::seconds(100), true);
+  const auto c =
+      chooser().choose(empty, kDst, ongoing_until(sim::seconds(1)), 0, 1400);
+  EXPECT_EQ(c.rate, phy::WifiRate::k54Mbps);
+  EXPECT_FALSE(c.defer);
+}
+
+TEST(RateChooser, LongWaitFavoursTolerantLowRateConcurrency) {
+  // Fast rates conflict with the ongoing transmission; 6 Mbit/s tolerates
+  // it. With a long residual wait, concurrent-at-6 beats defer-then-54.
+  auto t = table_forbidding({phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps});
+  const auto c = chooser().choose(t, kDst,
+                                  ongoing_until(sim::milliseconds(50)), 0,
+                                  1400);
+  EXPECT_EQ(c.rate, phy::WifiRate::k6Mbps);
+  EXPECT_FALSE(c.defer);
+}
+
+TEST(RateChooser, ShortWaitFavoursDeferThenFast) {
+  // Same conflicts, but the ongoing transmission ends in 100 us: waiting
+  // then bursting at 54 Mbit/s beats crawling at 6 concurrently.
+  auto t = table_forbidding({phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps});
+  const auto c = chooser().choose(t, kDst,
+                                  ongoing_until(sim::microseconds(100)), 0,
+                                  1400);
+  EXPECT_EQ(c.rate, phy::WifiRate::k54Mbps);
+  EXPECT_TRUE(c.defer);
+}
+
+TEST(RateChooser, AllRatesConflictingMeansDefer) {
+  auto t = table_forbidding({phy::WifiRate::k6Mbps, phy::WifiRate::k18Mbps,
+                             phy::WifiRate::k54Mbps});
+  const auto c = chooser().choose(t, kDst,
+                                  ongoing_until(sim::milliseconds(10)), 0,
+                                  1400);
+  EXPECT_TRUE(c.defer);
+  EXPECT_EQ(c.rate, phy::WifiRate::k54Mbps);  // fastest after the wait
+}
+
+TEST(RateChooser, ExpiredOngoingCostsNothing) {
+  auto t = table_forbidding({phy::WifiRate::k54Mbps});
+  // "Ongoing" already ended: the defer option's wait is zero, so the
+  // fastest rate wins even though concurrency at 54 is forbidden.
+  const auto c = chooser().choose(t, kDst, ongoing_until(sim::seconds(1)),
+                                  sim::seconds(2), 1400);
+  EXPECT_EQ(c.rate, phy::WifiRate::k54Mbps);
+  EXPECT_TRUE(c.defer);
+}
+
+TEST(RateChooser, CrossoverIsMonotoneInWait) {
+  // As the residual wait grows, the decision flips from defer-fast to
+  // concurrent-slow exactly once.
+  auto t = table_forbidding({phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps});
+  bool seen_concurrent = false;
+  for (sim::Time wait = sim::microseconds(10); wait <= sim::milliseconds(100);
+       wait *= 2) {
+    const auto c = chooser().choose(t, kDst, ongoing_until(wait), 0, 1400);
+    if (seen_concurrent) {
+      EXPECT_FALSE(c.defer) << "flipped back at wait " << wait;
+    }
+    seen_concurrent = seen_concurrent || !c.defer;
+  }
+  EXPECT_TRUE(seen_concurrent);
+}
+
+TEST(RateChooser, ExpectedBpsMatchesAirtimeArithmetic) {
+  DeferTable empty(sim::seconds(100), true);
+  const auto c =
+      chooser().choose(empty, kDst, ongoing_until(sim::seconds(1)), 0, 1400);
+  const double bits = 8.0 * 1400;
+  const double air =
+      sim::to_seconds(phy::frame_airtime(phy::WifiRate::k54Mbps, 1400));
+  EXPECT_NEAR(c.expected_bps, bits / air, 1.0);
+}
+
+}  // namespace
+}  // namespace cmap::core

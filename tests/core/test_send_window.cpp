@@ -1,0 +1,100 @@
+#include "core/send_window.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::core {
+namespace {
+
+CmapAckFrame ack_for(std::uint32_t vp_seq, std::uint16_t npackets,
+                     std::uint64_t bitmap) {
+  CmapAckFrame a;
+  CmapAckFrame::VpAck vp;
+  vp.vp_seq = vp_seq;
+  vp.npackets = npackets;
+  vp.bitmap = bitmap;
+  a.vps.push_back(vp);
+  return a;
+}
+
+TEST(SendWindow, AdmitsUntilLimit) {
+  SendWindow w(4);
+  EXPECT_TRUE(w.can_admit());
+  w.on_vp_sent(1, {10, 11, 12});
+  EXPECT_TRUE(w.can_admit());
+  w.on_vp_sent(2, {13});
+  EXPECT_TRUE(w.window_full());
+  EXPECT_EQ(w.outstanding(), 4u);
+}
+
+TEST(SendWindow, AckedBitmapMapsToSeqs) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {10, 11, 12, 13});
+  const auto acked = w.on_ack(ack_for(1, 4, 0b1011));
+  EXPECT_EQ(acked, (std::vector<std::uint32_t>{10, 11, 13}));
+  EXPECT_TRUE(w.is_outstanding(12));
+  EXPECT_FALSE(w.is_outstanding(11));
+}
+
+TEST(SendWindow, DuplicateAckIsIdempotent) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {10, 11});
+  EXPECT_EQ(w.on_ack(ack_for(1, 2, 0b11)).size(), 2u);
+  EXPECT_EQ(w.on_ack(ack_for(1, 2, 0b11)).size(), 0u);
+}
+
+TEST(SendWindow, CumulativeAckCoversMultipleVps) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {10, 11});
+  w.on_vp_sent(2, {12, 13});
+  CmapAckFrame a;
+  a.vps.push_back({1, 2, 0b01});
+  a.vps.push_back({2, 2, 0b10});
+  const auto acked = w.on_ack(a);
+  EXPECT_EQ(acked, (std::vector<std::uint32_t>{10, 13}));
+  EXPECT_EQ(w.outstanding(), 2u);
+}
+
+TEST(SendWindow, UnknownVpInAckIsIgnored) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {10});
+  EXPECT_TRUE(w.on_ack(ack_for(99, 8, ~0ull)).empty());
+  EXPECT_TRUE(w.is_outstanding(10));
+}
+
+TEST(SendWindow, RetransmissionInNewVpAckableThroughEither) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {10, 11});
+  // 11 lost; retransmitted later inside VP 5 at index 0.
+  w.on_vp_sent(5, {11});
+  const auto acked = w.on_ack(ack_for(5, 1, 0b1));
+  EXPECT_EQ(acked, (std::vector<std::uint32_t>{11}));
+  EXPECT_FALSE(w.is_outstanding(11));
+  // A late ACK for the original VP no longer re-acks it.
+  EXPECT_TRUE(w.on_ack(ack_for(1, 2, 0b10)).empty());
+}
+
+TEST(SendWindow, UnackedInSequenceSorted) {
+  SendWindow w(256);
+  w.on_vp_sent(1, {30, 10, 20});
+  EXPECT_EQ(w.unacked_in_sequence(),
+            (std::vector<std::uint32_t>{10, 20, 30}));
+}
+
+TEST(SendWindow, DropFreesSlot) {
+  SendWindow w(2);
+  w.on_vp_sent(1, {10, 11});
+  EXPECT_TRUE(w.window_full());
+  w.drop(10);
+  EXPECT_TRUE(w.can_admit());
+  EXPECT_EQ(w.unacked_in_sequence(), (std::vector<std::uint32_t>{11}));
+}
+
+TEST(SendWindow, ResendingSameSeqDoesNotDoubleCount) {
+  SendWindow w(4);
+  w.on_vp_sent(1, {10, 11});
+  w.on_vp_sent(2, {10, 11});  // retransmission
+  EXPECT_EQ(w.outstanding(), 2u);
+}
+
+}  // namespace
+}  // namespace cmap::core

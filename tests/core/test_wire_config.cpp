@@ -1,0 +1,90 @@
+// Wire-format sizes (paper Fig. 3) and CmapConfig arithmetic (§3.3/§4.2).
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/wire.h"
+
+namespace cmap::core {
+namespace {
+
+TEST(Wire, DelimiterIs24BytesPerFig3) {
+  VpDelimFrame f;
+  EXPECT_EQ(f.wire_bytes(), 24u);  // src 6 + dst 6 + time 4 + seq 4 + CRC 4
+}
+
+TEST(Wire, DataFrameCarriesMacOverhead) {
+  CmapDataFrame f;
+  f.packet.bytes = 1400;
+  EXPECT_EQ(f.wire_bytes(), 1428u);
+}
+
+TEST(Wire, AckGrowsWithWindowEntries) {
+  CmapAckFrame a;
+  const std::size_t base = a.wire_bytes();
+  a.vps.resize(8);
+  EXPECT_EQ(a.wire_bytes(), base + 8 * 10);
+  // A full-window ACK still fits in one short control frame at 6 Mbit/s.
+  EXPECT_LT(a.wire_bytes(), 200u);
+}
+
+TEST(Wire, InterfererListGrowsWithEntries) {
+  InterfererListFrame il;
+  const std::size_t base = il.wire_bytes();
+  il.entries.resize(5);
+  EXPECT_EQ(il.wire_bytes(), base + 50);
+}
+
+TEST(Config, WindowPacketsIsNvpktTimesNwindow) {
+  CmapConfig c;
+  EXPECT_EQ(c.window_packets(), 256u);  // 32 * 8 (§4.2)
+  c.nvpkt = 16;
+  c.nwindow_vps = 4;
+  EXPECT_EQ(c.window_packets(), 64u);
+}
+
+TEST(Config, TauMaxIsOneWindowsAirtime) {
+  // §3.3: tau_max = Nwindow (bits) / link speed; with the §4.2 window of
+  // 256 x 1400 B at 6 Mbit/s that is ~478 ms.
+  CmapConfig c;
+  EXPECT_NEAR(sim::to_seconds(c.tau_max()), 256 * 1400 * 8 / 6e6, 1e-6);
+  EXPECT_EQ(c.tau_min(), c.tau_max() / 2);
+}
+
+TEST(Config, TauScalesWithRate) {
+  CmapConfig c;
+  const sim::Time at6 = c.tau_max();
+  c.data_rate = phy::WifiRate::k12Mbps;
+  EXPECT_NEAR(static_cast<double>(c.tau_max()),
+              static_cast<double>(at6) / 2.0, 2.0);
+}
+
+TEST(Config, IntegratedDefaultsAreSelfConsistent) {
+  const CmapConfig c = CmapConfig::integrated_defaults();
+  EXPECT_EQ(c.mode, PhyMode::kIntegrated);
+  EXPECT_EQ(c.nvpkt, 1);
+  // The cumulative ACK (nwindow entries) must fit inside the ACK wait at
+  // the base control rate, or the sender talks over its own ACKs.
+  CmapAckFrame a;
+  a.vps.resize(static_cast<std::size_t>(c.nwindow_vps));
+  const sim::Time ack_air =
+      phy::frame_airtime(c.control_rate, a.wire_bytes());
+  EXPECT_LT(ack_air + sim::microseconds(16), c.t_ackwait);
+}
+
+TEST(Config, ShimAckAlsoFitsItsWait) {
+  const CmapConfig c;
+  CmapAckFrame a;
+  a.vps.resize(static_cast<std::size_t>(c.nwindow_vps));
+  const sim::Time ack_air =
+      phy::frame_airtime(c.control_rate, a.wire_bytes());
+  EXPECT_LT(ack_air + sim::microseconds(16), c.t_ackwait);
+}
+
+TEST(Wire, RateAnnotationsDefaultToAny) {
+  InterfererEntry e;
+  EXPECT_EQ(e.source_rate, kAnyRate);
+  EXPECT_EQ(e.interferer_rate, kAnyRate);
+}
+
+}  // namespace
+}  // namespace cmap::core

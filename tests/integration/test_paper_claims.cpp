@@ -1,0 +1,128 @@
+// End-to-end reproduction checks of the paper's headline claims, on the
+// calibrated 50-node testbed at reduced scale (shorter runs and fewer
+// configurations than the benches; the direction and rough magnitude of
+// each claim must hold regardless).
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "testbed/experiment.h"
+#include "testbed/topology_picker.h"
+
+namespace cmap::testbed {
+namespace {
+
+const Testbed& shared_testbed() {
+  static Testbed tb{TestbedConfig{}};
+  return tb;
+}
+
+RunConfig rc_for(Scheme scheme) {
+  RunConfig rc;
+  rc.scheme = scheme;
+  rc.duration = sim::seconds(12);
+  rc.warmup = sim::seconds(5);
+  rc.seed = 3;
+  return rc;
+}
+
+double pair_mbps(const LinkPair& p, Scheme scheme) {
+  const std::vector<Flow> flows = {{p.s1, p.r1}, {p.s2, p.r2}};
+  return run_flows(shared_testbed(), flows, rc_for(scheme)).aggregate_mbps;
+}
+
+TEST(PaperClaims, ExposedTerminalsGainRoughlyTwofold) {
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(21);
+  const auto pairs = picker.exposed_pairs(6, rng);
+  ASSERT_GE(pairs.size(), 4u);
+  stats::Distribution cs, cmap;
+  for (const auto& p : pairs) {
+    cs.add(pair_mbps(p, Scheme::kCsma));
+    cmap.add(pair_mbps(p, Scheme::kCmap));
+  }
+  const double gain = cmap.median() / cs.median();
+  EXPECT_GT(gain, 1.6);  // paper: ~2x
+  EXPECT_LT(gain, 2.4);
+}
+
+TEST(PaperClaims, SmallWindowLosesPartOfTheGain) {
+  // §5.2: window of one virtual packet -> ~1.5x instead of ~2x.
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(22);
+  const auto pairs = picker.exposed_pairs(6, rng);
+  ASSERT_GE(pairs.size(), 4u);
+  stats::Distribution full, win1;
+  for (const auto& p : pairs) {
+    full.add(pair_mbps(p, Scheme::kCmap));
+    win1.add(pair_mbps(p, Scheme::kCmapWin1));
+  }
+  EXPECT_LT(win1.median(), full.median());
+}
+
+TEST(PaperClaims, HiddenTerminalsDoNotRegressBelowStatusQuo) {
+  // §5.5: CMAP's backoff keeps it comparable to 802.11 when the conflict
+  // map cannot see the interferer.
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(23);
+  const auto pairs = picker.hidden_pairs(6, rng);
+  ASSERT_GE(pairs.size(), 3u);
+  stats::Distribution cs, cmap;
+  for (const auto& p : pairs) {
+    cs.add(pair_mbps(p, Scheme::kCsma));
+    cmap.add(pair_mbps(p, Scheme::kCmap));
+  }
+  EXPECT_GT(cmap.median(), 0.8 * cs.median());
+}
+
+TEST(PaperClaims, SingleLinkParityWith80211) {
+  // §4.2: CMAP's pipelining is throughput-comparable to 802.11 on a clean
+  // link (5.04 vs 5.07 Mbit/s in the paper).
+  TopologyPicker picker(shared_testbed());
+  const auto links = picker.potential_links();
+  ASSERT_FALSE(links.empty());
+  const std::vector<Flow> flow = {{links[0].first, links[0].second}};
+  const double cs =
+      run_flows(shared_testbed(), flow, rc_for(Scheme::kCsma)).aggregate_mbps;
+  const double cm =
+      run_flows(shared_testbed(), flow, rc_for(Scheme::kCmap)).aggregate_mbps;
+  EXPECT_GT(cm / cs, 0.9);
+  EXPECT_LT(cm / cs, 1.25);
+}
+
+TEST(PaperClaims, CmapNeverFallsFarBehindOnInRangePairs) {
+  // §5.3: CMAP discriminates — per pair it should track the better of
+  // serialize (CS) and concurrent (CS off).
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(24);
+  const auto pairs = picker.in_range_pairs(6, rng);
+  ASSERT_GE(pairs.size(), 4u);
+  int tracked = 0;
+  for (const auto& p : pairs) {
+    const double cs = pair_mbps(p, Scheme::kCsma);
+    const double raw = pair_mbps(p, Scheme::kCsmaOffNoAcks);
+    const double cm = pair_mbps(p, Scheme::kCmap);
+    if (cm >= 0.75 * std::max(cs, raw)) ++tracked;
+  }
+  EXPECT_GE(tracked, static_cast<int>(pairs.size()) - 1);
+}
+
+TEST(PaperClaims, ApTopologyAggregateImproves) {
+  // §5.6 direction check at reduced scale: CMAP above 802.11 on aggregate.
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(25);
+  const auto sc = picker.ap_scenario(4, rng);
+  ASSERT_TRUE(sc.has_value());
+  std::vector<Flow> flows;
+  for (const auto& cell : sc->cells) {
+    flows.push_back({cell.sender(), cell.receiver()});
+  }
+  const double cs =
+      run_flows(shared_testbed(), flows, rc_for(Scheme::kCsma)).aggregate_mbps;
+  const double cm =
+      run_flows(shared_testbed(), flows, rc_for(Scheme::kCmap)).aggregate_mbps;
+  EXPECT_GT(cm, cs * 0.95);  // never a regression...
+  EXPECT_GT(cm, 1.0);        // ...and meaningful absolute throughput
+}
+
+}  // namespace
+}  // namespace cmap::testbed

@@ -1,0 +1,55 @@
+#include "mac/dup_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::mac {
+namespace {
+
+TEST(DupFilter, FirstSightingIsNotDuplicate) {
+  DupFilter f;
+  EXPECT_FALSE(f.seen_before(1, 10));
+  EXPECT_FALSE(f.seen_before(1, 11));
+}
+
+TEST(DupFilter, RepeatIsDuplicate) {
+  DupFilter f;
+  EXPECT_FALSE(f.seen_before(1, 10));
+  EXPECT_TRUE(f.seen_before(1, 10));
+  EXPECT_TRUE(f.seen_before(1, 10));
+}
+
+TEST(DupFilter, SendersAreIndependent) {
+  DupFilter f;
+  EXPECT_FALSE(f.seen_before(1, 10));
+  EXPECT_FALSE(f.seen_before(2, 10));
+  EXPECT_TRUE(f.seen_before(1, 10));
+}
+
+TEST(DupFilter, OutOfOrderWithinWindowIsHandled) {
+  DupFilter f(64);
+  EXPECT_FALSE(f.seen_before(1, 5));
+  EXPECT_FALSE(f.seen_before(1, 3));
+  EXPECT_TRUE(f.seen_before(1, 5));
+  EXPECT_TRUE(f.seen_before(1, 3));
+  EXPECT_FALSE(f.seen_before(1, 4));
+}
+
+TEST(DupFilter, AncientSequenceCountsAsDuplicate) {
+  DupFilter f(16);
+  EXPECT_FALSE(f.seen_before(1, 1000));
+  // 1 is far below the window behind 1000: stale retransmission.
+  EXPECT_TRUE(f.seen_before(1, 1));
+}
+
+TEST(DupFilter, WindowEvictionDoesNotDropRecent) {
+  DupFilter f(32);
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    EXPECT_FALSE(f.seen_before(1, s)) << s;
+  }
+  // Recent seqs still recognized after heavy churn.
+  EXPECT_TRUE(f.seen_before(1, 199));
+  EXPECT_TRUE(f.seen_before(1, 180));
+}
+
+}  // namespace
+}  // namespace cmap::mac

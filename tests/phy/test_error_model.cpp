@@ -1,0 +1,136 @@
+#include "phy/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/units.h"
+
+namespace cmap::phy {
+namespace {
+
+TEST(NistErrorModel, SuccessMonotonicInSinr) {
+  NistErrorModel m;
+  double prev = 0.0;
+  for (double db = -10.0; db <= 20.0; db += 0.5) {
+    const double s = m.chunk_success(db_to_linear(db), 11200, WifiRate::k6Mbps);
+    EXPECT_GE(s, prev - 1e-12) << "at " << db << " dB";
+    prev = s;
+  }
+}
+
+TEST(NistErrorModel, HighSinrDecodesLowSinrFails) {
+  NistErrorModel m;
+  EXPECT_GT(m.chunk_success(db_to_linear(15.0), 11200, WifiRate::k6Mbps),
+            0.999);
+  EXPECT_LT(m.chunk_success(db_to_linear(-10.0), 11200, WifiRate::k6Mbps),
+            1e-6);
+}
+
+TEST(NistErrorModel, TransitionLiesInPlausibleBand) {
+  // The idealized (pre implementation-loss) PRR=0.5 crossing for a 1400 B
+  // frame at 6 Mbit/s should be in the low single-digit dB range.
+  NistErrorModel m;
+  double crossing = -100;
+  for (double db = -10.0; db <= 15.0; db += 0.01) {
+    if (m.chunk_success(db_to_linear(db), 11200, WifiRate::k6Mbps) >= 0.5) {
+      crossing = db;
+      break;
+    }
+  }
+  EXPECT_GT(crossing, -6.0);
+  EXPECT_LT(crossing, 6.0);
+}
+
+TEST(NistErrorModel, HigherRatesNeedMoreSinr) {
+  NistErrorModel m;
+  auto crossing = [&](WifiRate rate) {
+    for (double db = -10.0; db <= 30.0; db += 0.01) {
+      if (m.chunk_success(db_to_linear(db), 11200, rate) >= 0.5) return db;
+    }
+    return 99.0;
+  };
+  const double c6 = crossing(WifiRate::k6Mbps);
+  const double c12 = crossing(WifiRate::k12Mbps);
+  const double c18 = crossing(WifiRate::k18Mbps);
+  const double c54 = crossing(WifiRate::k54Mbps);
+  EXPECT_LT(c6, c12);
+  EXPECT_LT(c12, c18);
+  EXPECT_LT(c18, c54);
+}
+
+TEST(NistErrorModel, ChunkingIsMultiplicative) {
+  // success(a + b bits) == success(a) * success(b) at fixed SINR: the
+  // interference chunking relies on this.
+  NistErrorModel m;
+  const double sinr = db_to_linear(1.5);
+  for (auto rate : {WifiRate::k6Mbps, WifiRate::k18Mbps}) {
+    const double whole = m.chunk_success(sinr, 10000, rate);
+    const double split = m.chunk_success(sinr, 6000, rate) *
+                         m.chunk_success(sinr, 4000, rate);
+    EXPECT_NEAR(whole, split, 1e-12);
+  }
+}
+
+TEST(NistErrorModel, ZeroBitsAlwaysSucceed) {
+  NistErrorModel m;
+  EXPECT_DOUBLE_EQ(m.chunk_success(db_to_linear(-30.0), 0, WifiRate::k6Mbps),
+                   1.0);
+}
+
+TEST(NistErrorModel, LongerFramesFailMoreOften) {
+  NistErrorModel m;
+  const double sinr = db_to_linear(1.0);
+  EXPECT_LE(m.chunk_success(sinr, 11200, WifiRate::k6Mbps),
+            m.chunk_success(sinr, 192, WifiRate::k6Mbps));
+}
+
+TEST(NistErrorModel, CodedBerDecreasesWithSinr) {
+  NistErrorModel m;
+  EXPECT_GT(m.coded_ber(db_to_linear(-5.0), WifiRate::k6Mbps),
+            m.coded_ber(db_to_linear(5.0), WifiRate::k6Mbps));
+  EXPECT_EQ(m.coded_ber(0.0, WifiRate::k6Mbps), 0.5);
+}
+
+TEST(NistErrorModel, AllRatesCoveredByCodeSpectra) {
+  // Every table rate must produce a sane BER (exercises 1/2, 2/3, 3/4).
+  NistErrorModel m;
+  for (int i = 0; i < kNumWifiRates; ++i) {
+    const auto rate = static_cast<WifiRate>(i);
+    const double ber = m.coded_ber(db_to_linear(25.0), rate);
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LT(ber, 1e-3) << rate_name(rate);
+  }
+}
+
+TEST(ThresholdErrorModel, StepBehaviour) {
+  ThresholdErrorModel m(3.0);
+  EXPECT_DOUBLE_EQ(m.chunk_success(db_to_linear(3.01), 1e6, WifiRate::k6Mbps),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.chunk_success(db_to_linear(2.99), 1, WifiRate::k6Mbps),
+                   0.0);
+}
+
+TEST(ThresholdErrorModel, ZeroBitsSucceedEvenBelowThreshold) {
+  ThresholdErrorModel m(3.0);
+  EXPECT_DOUBLE_EQ(m.chunk_success(db_to_linear(-20.0), 0, WifiRate::k6Mbps),
+                   1.0);
+}
+
+class ErrorModelRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorModelRateSweep, SuccessMonotonicForEveryRate) {
+  NistErrorModel m;
+  const auto rate = static_cast<WifiRate>(GetParam());
+  double prev = 0.0;
+  for (double db = -10.0; db <= 35.0; db += 0.25) {
+    const double s = m.chunk_success(db_to_linear(db), 8000, rate);
+    EXPECT_GE(s, prev - 1e-12) << rate_name(rate) << " at " << db;
+    prev = s;
+  }
+  EXPECT_GT(prev, 0.999) << rate_name(rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ErrorModelRateSweep,
+                         ::testing::Range(0, kNumWifiRates));
+
+}  // namespace
+}  // namespace cmap::phy

@@ -1,0 +1,147 @@
+#include "phy/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/units.h"
+
+namespace cmap::phy {
+namespace {
+
+std::shared_ptr<const Frame> make_frame(std::uint64_t id, std::size_t bytes) {
+  Frame f;
+  f.id = id;
+  f.segments = {{SegmentKind::kWhole, bytes}};
+  return std::make_shared<const Frame>(std::move(f));
+}
+
+Signal make_signal(std::uint64_t id, double power_dbm, sim::Time start,
+                   sim::Time end, std::size_t bytes = 1400) {
+  Signal s;
+  s.frame = make_frame(id, bytes);
+  s.power_mw = dbm_to_mw(power_dbm);
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+constexpr double kNoiseDbm = -94.0;
+
+TEST(Interference, SinrAgainstNoiseOnly) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  t.add(make_signal(1, -80.0, 0, 1000));
+  // SINR = -80 - (-94) = 14 dB.
+  EXPECT_NEAR(linear_to_db(t.min_sinr(1, 0, 1000)), 14.0, 0.01);
+}
+
+TEST(Interference, ConcurrentSignalDegradesSinr) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  t.add(make_signal(1, -80.0, 0, 1000));
+  t.add(make_signal(2, -80.0, 0, 1000));
+  // Equal-power interferer dominates noise: SINR ~ 0 dB.
+  EXPECT_NEAR(linear_to_db(t.min_sinr(1, 0, 1000)), 0.0, 0.2);
+}
+
+TEST(Interference, PartialOverlapOnlyAffectsOverlap) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  t.add(make_signal(1, -80.0, 0, 1000));
+  t.add(make_signal(2, -80.0, 500, 1500));
+  // Worst chunk has the interferer; clean prefix has 14 dB.
+  EXPECT_NEAR(linear_to_db(t.min_sinr(1, 0, 1000)), 0.0, 0.2);
+  EXPECT_NEAR(linear_to_db(t.min_sinr(1, 0, 500)), 14.0, 0.01);
+}
+
+TEST(Interference, ChunkedSuccessWithThresholdModel) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  ThresholdErrorModel model(3.0);
+  t.add(make_signal(1, -80.0, 0, 1000));
+  t.add(make_signal(2, -80.0, 500, 700));
+  // Collided chunk is below threshold -> whole window fails.
+  EXPECT_DOUBLE_EQ(
+      t.evaluate(1, 0, 1000, 8000, WifiRate::k6Mbps, model, 1.0).success_prob,
+      0.0);
+  // Window that avoids the collision passes.
+  EXPECT_DOUBLE_EQ(
+      t.evaluate(1, 0, 500, 4000, WifiRate::k6Mbps, model, 1.0).success_prob,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      t.evaluate(1, 700, 1000, 2400, WifiRate::k6Mbps, model, 1.0)
+          .success_prob,
+      1.0);
+}
+
+TEST(Interference, MultipleInterferersSumInLinearDomain) {
+  InterferenceTracker t(dbm_to_mw(-200.0));  // negligible noise
+  t.add(make_signal(1, -80.0, 0, 1000));
+  t.add(make_signal(2, -83.0, 0, 1000));
+  t.add(make_signal(3, -83.0, 0, 1000));
+  // Two interferers at -83 dBm sum to -80 dBm -> SINR 0 dB.
+  EXPECT_NEAR(linear_to_db(t.min_sinr(1, 0, 1000)), 0.0, 0.05);
+}
+
+TEST(Interference, SinrScaleActsAsImplementationLoss) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  ThresholdErrorModel model(3.0);
+  t.add(make_signal(1, -90.0, 0, 1000));  // SINR 4 dB
+  EXPECT_DOUBLE_EQ(
+      t.evaluate(1, 0, 1000, 100, WifiRate::k6Mbps, model, 1.0).success_prob,
+      1.0);
+  // With 2 dB implementation loss the effective SINR drops below threshold.
+  EXPECT_DOUBLE_EQ(
+      t.evaluate(1, 0, 1000, 100, WifiRate::k6Mbps, model, db_to_linear(2.0))
+          .success_prob,
+      0.0);
+}
+
+TEST(Interference, PruneDropsOnlyExpiredSignals) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  t.add(make_signal(1, -80.0, 0, 100));
+  t.add(make_signal(2, -80.0, 0, 5000));
+  t.prune(1000);
+  ASSERT_EQ(t.signals().size(), 1u);
+  EXPECT_EQ(t.signals()[0].frame->id, 2u);
+}
+
+TEST(Interference, TotalAndMaxPowerTrackActiveSignals) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  t.add(make_signal(1, -80.0, 0, 1000));
+  t.add(make_signal(2, -77.0, 500, 1500));
+  EXPECT_NEAR(mw_to_dbm(t.total_power_mw(250)), -80.0, 0.01);
+  EXPECT_NEAR(mw_to_dbm(t.max_power_mw(750)), -77.0, 0.01);
+  const double both = dbm_to_mw(-80.0) + dbm_to_mw(-77.0);
+  EXPECT_NEAR(t.total_power_mw(750), both, both * 1e-9);
+  // A signal is inactive exactly at its end time.
+  EXPECT_NEAR(mw_to_dbm(t.total_power_mw(1000)), -77.0, 0.01);
+}
+
+TEST(Interference, EvaluateIsDeterministic) {
+  InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+  NistErrorModel model;
+  t.add(make_signal(1, -88.0, 0, 1000));
+  t.add(make_signal(2, -90.0, 300, 800));
+  const auto a =
+      t.evaluate(1, 0, 1000, 8000, WifiRate::k6Mbps, model, 1.0);
+  const auto b =
+      t.evaluate(1, 0, 1000, 8000, WifiRate::k6Mbps, model, 1.0);
+  EXPECT_DOUBLE_EQ(a.success_prob, b.success_prob);
+  EXPECT_DOUBLE_EQ(a.min_sinr, b.min_sinr);
+}
+
+TEST(Interference, SuccessProbDropsWithOverlapFraction) {
+  NistErrorModel model;
+  double prev = 1.0;
+  for (sim::Time overlap : {0, 200, 400, 600, 800, 1000}) {
+    InterferenceTracker t(dbm_to_mw(kNoiseDbm));
+    t.add(make_signal(1, -88.0, 0, 1000));
+    if (overlap > 0) t.add(make_signal(2, -88.0, 0, overlap));
+    const double s =
+        t.evaluate(1, 0, 1000, 11200, WifiRate::k6Mbps, model, 1.0)
+            .success_prob;
+    EXPECT_LE(s, prev + 1e-12);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace cmap::phy

@@ -1,0 +1,320 @@
+#include "phy/radio.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/medium.h"
+#include "phy/units.h"
+#include "phy_test_util.h"
+#include "sim/time.h"
+
+namespace cmap::phy {
+namespace {
+
+using testing::RecordingListener;
+using testing::World;
+
+std::shared_ptr<const NistErrorModel> nist() {
+  return std::make_shared<NistErrorModel>();
+}
+std::shared_ptr<const ThresholdErrorModel> threshold(double db = 3.0) {
+  return std::make_shared<ThresholdErrorModel>(db);
+}
+
+TEST(Radio, CleanDeliveryDecodesAllSegments) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});  // rx ~ -70.7 dBm, SINR ~ 23 dB
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+
+  auto& rx = w.listener(1);
+  ASSERT_EQ(rx.rx_starts.size(), 1u);
+  ASSERT_EQ(rx.rx_ends.size(), 1u);
+  EXPECT_TRUE(rx.rx_ends[0].result.all_ok());
+  EXPECT_EQ(rx.rx_ends[0].frame.tx_node, 1u);
+  EXPECT_NEAR(rx.rx_ends[0].result.rssi_dbm, -70.7, 0.5);
+  ASSERT_EQ(w.listener(0).tx_ends.size(), 1u);
+  EXPECT_EQ(w.radio(1).counters().rx_ok, 1u);
+}
+
+TEST(Radio, FrameDurationMatchesAirtime) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});
+  sim::Time rx_at = -1;
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+  rx_at = w.simulator().now();
+  // 1892 us airtime + ~167 ns propagation.
+  EXPECT_NEAR(sim::to_microseconds(rx_at), 1892.0, 1.0);
+}
+
+TEST(Radio, SimultaneousEqualPowerFramesCollide) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& c = w.add_radio(3, {100, 0});
+  w.add_radio(2, {50, 0});  // equidistant: SINR ~ 0 dB from each
+  w.simulator().at(0, [&] {
+    a.transmit(World::whole_frame(1400));
+    c.transmit(World::whole_frame(1400));
+  });
+  w.simulator().run();
+  auto& rx = w.listener(2);
+  EXPECT_TRUE(rx.rx_ends.empty());  // preamble sync impossible at 0 dB
+  EXPECT_GE(w.radio(2).counters().preamble_failures, 1u);
+}
+
+TEST(Radio, CaptureRelocksOntoMuchStrongerFrame) {
+  World w(nist());
+  Radio& weak = w.add_radio(1, {0, 0});
+  Radio& strong = w.add_radio(2, {210, 0});
+  w.add_radio(3, {200, 0});  // -82.7 dBm from weak, -56.7 dBm from strong
+  w.simulator().at(0, [&] { weak.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::milliseconds(1),
+                   [&] { strong.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+
+  auto& rx = w.listener(2);
+  ASSERT_EQ(rx.rx_ends.size(), 1u);
+  EXPECT_EQ(rx.rx_ends[0].frame.tx_node, 2u);
+  EXPECT_TRUE(rx.rx_ends[0].result.all_ok());
+  EXPECT_EQ(w.radio(2).counters().aborted_by_capture, 1u);
+}
+
+TEST(Radio, CaptureDisabledKeepsWeakLock) {
+  World w(nist());
+  RadioConfig cfg;
+  cfg.capture_enabled = false;
+  Radio& weak = w.add_radio(1, {0, 0});
+  Radio& strong = w.add_radio(2, {210, 0});
+  w.add_radio(3, {200, 0}, cfg);
+  w.simulator().at(0, [&] { weak.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::milliseconds(1),
+                   [&] { strong.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+
+  auto& rx = w.listener(2);
+  ASSERT_EQ(rx.rx_ends.size(), 1u);
+  EXPECT_EQ(rx.rx_ends[0].frame.tx_node, 1u);  // stayed on the weak frame
+  EXPECT_FALSE(rx.rx_ends[0].result.all_ok());  // which the strong one killed
+  EXPECT_EQ(w.radio(2).counters().aborted_by_capture, 0u);
+}
+
+TEST(Radio, TransmitDuringReceptionAbortsIt) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& b = w.add_radio(2, {50, 0});
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::microseconds(500),
+                   [&] { b.transmit(World::whole_frame(100)); });
+  w.simulator().run();
+  EXPECT_TRUE(w.listener(1).rx_ends.empty());
+  EXPECT_EQ(w.radio(1).counters().aborted_by_tx, 1u);
+}
+
+TEST(Radio, CarrierBusyDuringNeighbourTransmission) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& b = w.add_radio(2, {50, 0});
+  bool busy_mid = false, busy_after = true;
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::microseconds(900), [&] { busy_mid = b.carrier_busy(); });
+  w.simulator().at(sim::milliseconds(3), [&] { busy_after = b.carrier_busy(); });
+  w.simulator().run();
+  EXPECT_TRUE(busy_mid);
+  EXPECT_FALSE(busy_after);
+}
+
+TEST(Radio, CcaCallbacksFireOnEdges) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+  const auto& changes = w.listener(1).cca_changes;
+  ASSERT_GE(changes.size(), 2u);
+  EXPECT_TRUE(changes.front());
+  EXPECT_FALSE(changes.back());
+}
+
+TEST(Radio, BelowDeliveryFloorNothingArrives) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {5000, 0});  // ~ -121 dBm, below the -104 dBm floor
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+  EXPECT_TRUE(w.listener(1).rx_ends.empty());
+  EXPECT_TRUE(w.radio(1).interference().signals().empty());
+}
+
+TEST(Radio, BelowSensitivityIsEnergyNotFrame) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {700, 0});  // ~ -93.6 dBm: above floor, below sensitivity
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+  EXPECT_EQ(w.radio(1).counters().locks, 0u);
+  EXPECT_FALSE(w.listener(1).rx_ends.size());
+  EXPECT_EQ(w.radio(1).interference().signals().size(), 1u);
+}
+
+TEST(Radio, IntegratedHeaderStreamsBeforeFrameEnd) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});
+  sim::Time header_at = -1, end_at = -1;
+
+  class TimedListener : public RecordingListener {
+   public:
+    TimedListener(sim::Simulator& s, sim::Time* h, sim::Time* e)
+        : sim_(s), h_(h), e_(e) {}
+    void on_header_decoded(const Frame& f, bool ok) override {
+      RecordingListener::on_header_decoded(f, ok);
+      *h_ = sim_.now();
+    }
+    void on_rx_end(const Frame& f, const RxResult& r) override {
+      RecordingListener::on_rx_end(f, r);
+      *e_ = sim_.now();
+    }
+    sim::Simulator& sim_;
+    sim::Time* h_;
+    sim::Time* e_;
+  } timed(w.simulator(), &header_at, &end_at);
+
+  w.radio(1).set_listener(&timed);
+  w.simulator().at(0, [&] { a.transmit(World::hbt_frame(24, 1400, 24)); });
+  w.simulator().run();
+  ASSERT_EQ(timed.header_ok.size(), 1u);
+  EXPECT_TRUE(timed.header_ok[0]);
+  ASSERT_EQ(timed.rx_ends.size(), 1u);
+  EXPECT_TRUE(timed.rx_ends[0].result.all_ok());
+  EXPECT_LT(header_at, end_at);
+  // Header (24 of 1448 bytes) decodes within the first ~5% of the payload.
+  EXPECT_LT(header_at, end_at / 10);
+}
+
+TEST(Radio, SalvageRecoversTrailerOfUnlockedFrame) {
+  World w(nist());
+  RadioConfig cfg;
+  cfg.salvage_enabled = true;
+  Radio& a = w.add_radio(1, {50, 0});
+  Radio& x = w.add_radio(2, {60, 0});
+  w.add_radio(3, {0, 0}, cfg);
+  // a's frame: 0 .. 1892 us. x's frame starts at 500 us, ends ~2456 us;
+  // its trailer airs after a finishes, in the clear.
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::microseconds(500),
+                   [&] { x.transmit(World::hbt_frame(24, 1400, 24)); });
+  w.simulator().run();
+
+  auto& rx = w.listener(2);
+  ASSERT_EQ(rx.rx_ends.size(), 1u);        // locked frame from a
+  EXPECT_FALSE(rx.rx_ends[0].result.all_ok());  // x collided with it
+  ASSERT_EQ(rx.salvages.size(), 1u);
+  EXPECT_EQ(rx.salvages[0].frame.tx_node, 2u);
+  EXPECT_FALSE(rx.salvages[0].result.segment_ok[0]);  // header collided
+  EXPECT_TRUE(rx.salvages[0].result.segment_ok[2]);   // trailer clean
+  EXPECT_EQ(w.radio(2).counters().salvages, 1u);
+}
+
+TEST(Radio, NoSalvageWhenDisabled) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {50, 0});
+  Radio& x = w.add_radio(2, {60, 0});
+  w.add_radio(3, {0, 0});  // default config: salvage off (shim mode)
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::microseconds(500),
+                   [&] { x.transmit(World::hbt_frame(24, 1400, 24)); });
+  w.simulator().run();
+  EXPECT_TRUE(w.listener(2).salvages.empty());
+}
+
+TEST(Radio, NoSalvageOfFramesTalkedOver) {
+  World w(nist());
+  RadioConfig cfg;
+  cfg.salvage_enabled = true;
+  Radio& a = w.add_radio(1, {50, 0});
+  Radio& b = w.add_radio(2, {0, 0}, cfg);
+  // b transmits while a's integrated frame is in the air: half-duplex, no
+  // salvage even though the trailer would have been clean.
+  w.simulator().at(0, [&] { a.transmit(World::hbt_frame(24, 1400, 24)); });
+  w.simulator().at(sim::microseconds(100),
+                   [&] { b.transmit(World::whole_frame(60)); });
+  w.simulator().run();
+  EXPECT_TRUE(w.listener(1).salvages.empty());
+}
+
+TEST(Radio, BackToBackFramesAllReceived) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});
+  // 1 us turnaround between frames (a real MAC chains on on_tx_end).
+  const sim::Time d = frame_airtime(WifiRate::k6Mbps, 500) + sim::microseconds(1);
+  for (int i = 0; i < 3; ++i) {
+    w.simulator().at(i * d, [&] { a.transmit(World::whole_frame(500)); });
+  }
+  w.simulator().run();
+  auto& rx = w.listener(1);
+  ASSERT_EQ(rx.rx_ends.size(), 3u);
+  for (const auto& e : rx.rx_ends) EXPECT_TRUE(e.result.all_ok());
+}
+
+TEST(Radio, MarginalLinkWithFadingMixesOutcomes) {
+  MediumConfig mcfg;
+  mcfg.fading_sigma_db = 6.0;
+  World w(nist(), mcfg);
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {330, 0});  // ~ -87 dBm mean: SINR ~7 dB, eff ~2 — marginal
+  const sim::Time d = frame_airtime(WifiRate::k6Mbps, 1400);
+  for (int i = 0; i < 200; ++i) {
+    w.simulator().at(i * (d + sim::microseconds(100)),
+                     [&] { a.transmit(World::whole_frame(1400)); });
+  }
+  w.simulator().run();
+  const auto& c = w.radio(1).counters();
+  // With 6 dB fading both clean decodes and failures must occur.
+  EXPECT_GT(c.rx_ok, 5u);
+  EXPECT_GT(c.rx_corrupt + c.preamble_failures + (200 - c.locks), 5u);
+}
+
+TEST(Radio, MeanRxPowerMatchesPropagationModel) {
+  World w(nist());
+  w.add_radio(1, {0, 0});
+  w.add_radio(2, {50, 0});
+  FriisPropagation friis;
+  EXPECT_NEAR(w.medium().mean_rx_power_dbm(1, 2),
+              friis.rx_power_dbm(10.0, 1, 2, {0, 0}, {50, 0}), 1e-9);
+}
+
+TEST(Radio, ThresholdModelMakesCollisionsDeterministic) {
+  World w(threshold(3.0));
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& c = w.add_radio(3, {150, 0});
+  w.add_radio(2, {30, 0});
+  // SINR of a's frame (-66.2 dBm) over interferer c (-88.3 dBm) + noise is
+  // ~22 dB; after the 5 dB implementation loss still above the 3 dB
+  // threshold, so the frame decodes despite the overlap.
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(1400)); });
+  w.simulator().at(sim::microseconds(400),
+                   [&] { c.transmit(World::whole_frame(1400)); });
+  w.simulator().run();
+  auto& rx = w.listener(2);
+  ASSERT_EQ(rx.rx_ends.size(), 1u);
+  EXPECT_EQ(rx.rx_ends[0].frame.tx_node, 1u);
+  EXPECT_TRUE(rx.rx_ends[0].result.all_ok());
+}
+
+TEST(RadioDeathTest, DoubleTransmitAsserts) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.simulator().at(0, [&] {
+    a.transmit(World::whole_frame(100));
+    EXPECT_DEATH(a.transmit(World::whole_frame(100)), "transmitting");
+  });
+  w.simulator().run();
+}
+
+}  // namespace
+}  // namespace cmap::phy

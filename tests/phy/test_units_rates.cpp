@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "phy/types.h"
+#include "phy/units.h"
+#include "phy/wifi_rate.h"
+
+namespace cmap::phy {
+namespace {
+
+TEST(Units, DbmMwRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_NEAR(dbm_to_mw(-94.0), 3.98e-10, 1e-11);
+  for (double dbm : {-100.0, -50.0, 0.0, 20.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_NEAR(db_to_linear(3.0103), 2.0, 1e-5);
+  for (double db : {-20.0, -3.0, 0.0, 10.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Position, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(WifiRate, TableIsConsistent) {
+  double prev_bps = 0.0;
+  for (int i = 0; i < kNumWifiRates; ++i) {
+    const auto& info = rate_info(static_cast<WifiRate>(i));
+    EXPECT_GT(info.bits_per_second, prev_bps);
+    prev_bps = info.bits_per_second;
+    // data bits per 4us symbol must equal bps * 4us.
+    EXPECT_NEAR(info.data_bits_per_symbol, info.bits_per_second * 4e-6, 1e-9);
+  }
+}
+
+TEST(WifiRate, RateNamesMatch) {
+  EXPECT_STREQ(rate_name(WifiRate::k6Mbps), "6Mbps");
+  EXPECT_STREQ(rate_name(WifiRate::k54Mbps), "54Mbps");
+}
+
+TEST(WifiRate, FrameAirtime1400BytesAt6Mbps) {
+  // 22 + 11200 bits = 11222 bits -> ceil(11222/24) = 468 symbols
+  // = 1872 us payload + 20 us preamble.
+  const sim::Time t = frame_airtime(WifiRate::k6Mbps, 1400);
+  EXPECT_EQ(t, sim::microseconds(20 + 468 * 4));
+}
+
+TEST(WifiRate, FrameAirtimeSmallFrameAt6Mbps) {
+  // 24-byte header packet: 22 + 192 = 214 bits -> 9 symbols = 36 us + 20.
+  EXPECT_EQ(frame_airtime(WifiRate::k6Mbps, 24), sim::microseconds(56));
+}
+
+TEST(WifiRate, HigherRateIsShorter) {
+  EXPECT_LT(frame_airtime(WifiRate::k18Mbps, 1400),
+            frame_airtime(WifiRate::k12Mbps, 1400));
+  EXPECT_LT(frame_airtime(WifiRate::k12Mbps, 1400),
+            frame_airtime(WifiRate::k6Mbps, 1400));
+}
+
+TEST(WifiRate, PayloadAirtimeExcludesPreamble) {
+  for (int i = 0; i < kNumWifiRates; ++i) {
+    const auto rate = static_cast<WifiRate>(i);
+    EXPECT_EQ(frame_airtime(rate, 100) - payload_airtime(rate, 100),
+              kPlcpDuration);
+  }
+}
+
+TEST(WifiRate, AirtimeRoundsUpToWholeSymbols) {
+  // 1 byte at 54 Mbps: 30 bits -> 1 symbol.
+  EXPECT_EQ(payload_airtime(WifiRate::k54Mbps, 1), kSymbolDuration);
+  // 25 bytes at 54 Mbps: 222 bits -> 2 symbols (216 would not fit).
+  EXPECT_EQ(payload_airtime(WifiRate::k54Mbps, 25), 2 * kSymbolDuration);
+}
+
+}  // namespace
+}  // namespace cmap::phy

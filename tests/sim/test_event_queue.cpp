@@ -1,0 +1,114 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmap::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_one()) {
+  }
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(id.pending());
+  id.cancel();
+  EXPECT_FALSE(id.pending());
+  while (q.run_one()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun) {
+  EventQueue q;
+  EventId id = q.schedule(1, [] {});
+  while (q.run_one()) {
+  }
+  EXPECT_FALSE(id.pending());
+  id.cancel();  // no-op, must not crash
+  EventId empty;
+  empty.cancel();  // default-constructed id, must not crash
+  EXPECT_FALSE(empty.pending());
+}
+
+TEST(EventQueue, PendingFlipsAfterExecution) {
+  EventQueue q;
+  EventId id = q.schedule(1, [] {});
+  EXPECT_TRUE(id.pending());
+  q.run_one();
+  EXPECT_FALSE(id.pending());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<Time> times;
+  q.schedule(10, [&] {
+    times.push_back(q.current_time());
+    q.schedule(20, [&] { times.push_back(q.current_time()); });
+  });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(times, (std::vector<Time>{10, 20}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestPending) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeForever);
+  EventId a = q.schedule(50, [] {});
+  q.schedule(70, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+  a.cancel();
+  EXPECT_EQ(q.next_time(), 70);
+}
+
+TEST(EventQueue, EmptySkipsCancelledEvents) {
+  EventQueue q;
+  EventId a = q.schedule(5, [] {});
+  a.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutedCounterCountsOnlyRunEvents) {
+  EventQueue q;
+  EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  a.cancel();
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
+  EventQueue q;
+  q.schedule(100, [&q] {
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+  });
+  while (q.run_one()) {
+  }
+}
+
+}  // namespace
+}  // namespace cmap::sim

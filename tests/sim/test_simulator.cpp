@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmap::sim {
+namespace {
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator s;
+  std::vector<Time> seen;
+  s.at(10, [&] { seen.push_back(s.now()); });
+  s.in(25, [&] { seen.push_back(s.now()); });  // in() from t=0
+  s.run();
+  EXPECT_EQ(seen, (std::vector<Time>{10, 25}));
+}
+
+TEST(Simulator, InSchedulesRelativeToCurrentEvent) {
+  Simulator s;
+  Time fired = -1;
+  s.at(100, [&] { s.in(50, [&] { fired = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s;
+  int count = 0;
+  s.at(10, [&] { ++count; });
+  s.at(20, [&] { ++count; });
+  s.at(21, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+}
+
+TEST(Simulator, RunUntilLeavesFutureEventsRunnable) {
+  Simulator s;
+  int count = 0;
+  s.at(30, [&] { ++count; });
+  s.run_until(10);
+  EXPECT_EQ(count, 0);
+  s.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int count = 0;
+  s.at(1, [&] {
+    ++count;
+    s.stop();
+  });
+  s.at(2, [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 1);
+  s.run();  // resumes after stop
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsExecutedCounts) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClockPastIt) {
+  Simulator s;
+  EventId id = s.at(1000, [] {});
+  id.cancel();
+  s.at(10, [] {});
+  s.run();
+  EXPECT_EQ(s.now(), 10);
+}
+
+}  // namespace
+}  // namespace cmap::sim

@@ -1,0 +1,40 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::sim {
+namespace {
+
+TEST(Time, UnitHelpersProduceNanoseconds) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(microseconds(2.5), 2'500);
+}
+
+TEST(Time, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+}
+
+TEST(Time, TransmissionTimeMatchesBitMath) {
+  // 1 bit at 1 bit/s is one second.
+  EXPECT_EQ(transmission_time(1, 1.0), kNsPerSec);
+  // 11200 bits at 6 Mbit/s is 1866.67 us.
+  const Time t = transmission_time(11200, 6e6);
+  EXPECT_NEAR(to_microseconds(t), 1866.67, 0.01);
+}
+
+TEST(Time, TransmissionTimeRoundsUpToLastBit) {
+  // 1 bit at 3 bit/s: 333333333.33 ns must round up, not truncate.
+  EXPECT_EQ(transmission_time(1, 3.0), 333333334);
+  EXPECT_GE(transmission_time(7, 3.0) * 3, 7 * kNsPerSec / 1);
+}
+
+TEST(Time, ForeverIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(kTimeForever, seconds(1e9));
+}
+
+}  // namespace
+}  // namespace cmap::sim

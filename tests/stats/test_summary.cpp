@@ -1,0 +1,81 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::stats {
+namespace {
+
+Distribution make(std::initializer_list<double> vals) {
+  Distribution d;
+  for (double v : vals) d.add(v);
+  return d;
+}
+
+TEST(Distribution, BasicMoments) {
+  auto d = make({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1);
+  EXPECT_DOUBLE_EQ(d.max(), 4);
+  EXPECT_NEAR(d.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Distribution, PercentilesInterpolate) {
+  auto d = make({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(d.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 50);
+  EXPECT_DOUBLE_EQ(d.median(), 30);
+  EXPECT_DOUBLE_EQ(d.percentile(25), 20);
+  EXPECT_DOUBLE_EQ(d.percentile(12.5), 15);  // halfway between 10 and 20
+}
+
+TEST(Distribution, SingleValue) {
+  auto d = make({7});
+  EXPECT_DOUBLE_EQ(d.median(), 7);
+  EXPECT_DOUBLE_EQ(d.percentile(1), 7);
+  EXPECT_DOUBLE_EQ(d.percentile(99), 7);
+}
+
+TEST(Distribution, CdfAt) {
+  auto d = make({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf_at(10), 1.0);
+}
+
+TEST(Distribution, CdfRowsAreMonotone) {
+  auto d = make({5, 1, 3, 2, 4});
+  const auto rows = d.cdf_rows();
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].value, rows[i - 1].value);
+    EXPECT_GT(rows[i].fraction, rows[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(rows.back().fraction, 1.0);
+}
+
+TEST(Distribution, AddAfterQueryResorts) {
+  Distribution d;
+  d.add(10);
+  EXPECT_DOUBLE_EQ(d.median(), 10);
+  d.add(20);
+  d.add(0);
+  EXPECT_DOUBLE_EQ(d.median(), 10);
+  EXPECT_DOUBLE_EQ(d.max(), 20);
+}
+
+TEST(Distribution, DescribeHandlesEmpty) {
+  Distribution d;
+  EXPECT_EQ(describe(d), "(no samples)");
+  d.add(1.0);
+  EXPECT_NE(describe(d).find("median"), std::string::npos);
+}
+
+TEST(DistributionDeathTest, EmptyMomentsAbort) {
+  Distribution d;
+  EXPECT_DEATH(d.mean(), "empty");
+  EXPECT_DEATH(d.percentile(50), "empty");
+}
+
+}  // namespace
+}  // namespace cmap::stats

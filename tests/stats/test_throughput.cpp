@@ -1,0 +1,44 @@
+#include "stats/throughput.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::stats {
+namespace {
+
+TEST(ThroughputMeter, CountsOnlyInsideWindow) {
+  ThroughputMeter m(sim::seconds(40), sim::seconds(100));
+  m.on_packet(1400, sim::seconds(10));   // before: ignored
+  m.on_packet(1400, sim::seconds(50));   // inside
+  m.on_packet(1400, sim::seconds(100));  // at end: excluded (half-open)
+  EXPECT_EQ(m.packets(), 1u);
+  EXPECT_DOUBLE_EQ(m.bits(), 1400 * 8.0);
+}
+
+TEST(ThroughputMeter, BpsUsesWindowLength) {
+  ThroughputMeter m(0, sim::seconds(60));
+  for (int i = 0; i < 1000; ++i) m.on_packet(1400, sim::seconds(30));
+  EXPECT_NEAR(m.bps(), 1000 * 1400 * 8.0 / 60.0, 1e-6);
+  EXPECT_NEAR(m.mbps(), m.bps() / 1e6, 1e-12);
+}
+
+TEST(ThroughputMeter, WindowBeginIsInclusive) {
+  ThroughputMeter m(sim::seconds(40), sim::seconds(100));
+  m.on_packet(100, sim::seconds(40));
+  EXPECT_EQ(m.packets(), 1u);
+}
+
+TEST(ThroughputMeter, DegenerateWindowYieldsZero) {
+  ThroughputMeter m(0, 0);
+  m.on_packet(100, 0);
+  EXPECT_DOUBLE_EQ(m.bps(), 0.0);
+}
+
+TEST(ThroughputMeter, SetWindowReconfigures) {
+  ThroughputMeter m;
+  m.set_window(sim::seconds(1), sim::seconds(2));
+  m.on_packet(500, sim::seconds(1) + 5);
+  EXPECT_EQ(m.packets(), 1u);
+}
+
+}  // namespace
+}  // namespace cmap::stats

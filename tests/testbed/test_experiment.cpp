@@ -1,0 +1,101 @@
+#include "testbed/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/topology_picker.h"
+
+namespace cmap::testbed {
+namespace {
+
+const Testbed& shared_testbed() {
+  static Testbed tb{TestbedConfig{}};
+  return tb;
+}
+
+RunConfig quick(Scheme scheme) {
+  RunConfig rc;
+  rc.scheme = scheme;
+  rc.duration = sim::seconds(3);
+  rc.warmup = sim::seconds(1);
+  return rc;
+}
+
+Flow first_potential_flow() {
+  TopologyPicker picker(shared_testbed());
+  const auto links = picker.potential_links();
+  return Flow{links.front().first, links.front().second};
+}
+
+TEST(Experiment, SchemeNamesAreDistinct) {
+  EXPECT_STRNE(scheme_name(Scheme::kCsma), scheme_name(Scheme::kCmap));
+  EXPECT_STRNE(scheme_name(Scheme::kCsmaOffAcks),
+               scheme_name(Scheme::kCsmaOffNoAcks));
+  EXPECT_TRUE(scheme_is_cmap(Scheme::kCmapWin1));
+  EXPECT_FALSE(scheme_is_cmap(Scheme::kCsma));
+}
+
+class SingleFlowAllSchemes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleFlowAllSchemes, DeliversOnCleanLink) {
+  const auto scheme = static_cast<Scheme>(GetParam());
+  const auto result =
+      run_flows(shared_testbed(), {first_potential_flow()}, quick(scheme));
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_GT(result.flows[0].mbps, 3.0) << scheme_name(scheme);
+  EXPECT_LT(result.flows[0].mbps, 6.5) << scheme_name(scheme);
+  EXPECT_GT(result.flows[0].unique_packets, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SingleFlowAllSchemes,
+                         ::testing::Range(0, 6));
+
+TEST(Experiment, CmapCountersArePopulated) {
+  const auto result = run_flows(shared_testbed(), {first_potential_flow()},
+                                quick(Scheme::kCmap));
+  EXPECT_GT(result.flows[0].vps_sent, 10u);
+  EXPECT_GT(result.flows[0].rx_vps_delim, 10u);
+  EXPECT_GE(result.flows[0].rx_vps_delim, result.flows[0].rx_vps_header);
+}
+
+TEST(Experiment, DcfCountersStayZeroForCmapFields) {
+  const auto result = run_flows(shared_testbed(), {first_potential_flow()},
+                                quick(Scheme::kCsma));
+  EXPECT_EQ(result.flows[0].vps_sent, 0u);
+  EXPECT_EQ(result.flows[0].rx_vps_delim, 0u);
+}
+
+TEST(Experiment, AggregateIsSumOfFlows) {
+  TopologyPicker picker(shared_testbed());
+  sim::Rng rng(9);
+  const auto pairs = picker.in_range_pairs(1, rng);
+  ASSERT_FALSE(pairs.empty());
+  const std::vector<Flow> flows = {{pairs[0].s1, pairs[0].r1},
+                                   {pairs[0].s2, pairs[0].r2}};
+  const auto result = run_flows(shared_testbed(), flows, quick(Scheme::kCmap));
+  EXPECT_NEAR(result.aggregate_mbps,
+              result.flows[0].mbps + result.flows[1].mbps, 1e-9);
+}
+
+TEST(Experiment, MeasurementWindowExcludesWarmup) {
+  // A run measured over its warmup-free window reports steady state; with
+  // warmup == duration nothing is counted.
+  RunConfig rc = quick(Scheme::kCmap);
+  rc.warmup = rc.duration;
+  const auto result = run_flows(shared_testbed(), {first_potential_flow()}, rc);
+  EXPECT_DOUBLE_EQ(result.flows[0].mbps, 0.0);
+}
+
+TEST(Experiment, WorldExposesComponentsForBespokeScenarios) {
+  World world(shared_testbed(), quick(Scheme::kCmap));
+  const Flow f = first_potential_flow();
+  world.add_node(f.src);
+  world.add_node(f.dst);
+  EXPECT_NE(world.cmap(f.src), nullptr);
+  EXPECT_EQ(world.dcf(f.src), nullptr);
+  world.add_saturated_flow(f.src, f.dst);
+  world.run(sim::seconds(1));
+  EXPECT_GT(world.sink(f.dst).unique_packets(), 100u);
+}
+
+}  // namespace
+}  // namespace cmap::testbed

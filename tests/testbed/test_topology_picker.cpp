@@ -1,0 +1,159 @@
+// Each picker must return configurations satisfying its Fig. 11 / §5
+// constraints — verified against the testbed's own predicates.
+#include "testbed/topology_picker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cmap::testbed {
+namespace {
+
+const Testbed& shared_testbed() {
+  static Testbed tb{TestbedConfig{}};
+  return tb;
+}
+
+TEST(Picker, ExposedPairsSatisfyAllConstraints) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(1);
+  const auto pairs = picker.exposed_pairs(20, rng);
+  ASSERT_GT(pairs.size(), 3u);  // the building offers such configurations
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(tb.in_range(p.s1, p.s2));
+    EXPECT_TRUE(tb.potential_link(p.s1, p.r1));
+    EXPECT_TRUE(tb.potential_link(p.s2, p.r2));
+    EXPECT_TRUE(tb.strong_signal(p.s1, p.r1));
+    EXPECT_TRUE(tb.strong_signal(p.s2, p.r2));
+    // All cross pairs weak.
+    EXPECT_FALSE(tb.strong_signal(p.s1, p.r2));
+    EXPECT_FALSE(tb.strong_signal(p.s2, p.r1));
+    EXPECT_FALSE(tb.strong_signal(p.s1, p.s2));
+    EXPECT_FALSE(tb.strong_signal(p.r1, p.r2));
+  }
+}
+
+TEST(Picker, InRangePairsSatisfyConstraints) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(2);
+  const auto pairs = picker.in_range_pairs(20, rng);
+  ASSERT_GT(pairs.size(), 10u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(tb.in_range(p.s1, p.s2));
+    EXPECT_TRUE(tb.potential_link(p.s1, p.r1));
+    EXPECT_TRUE(tb.potential_link(p.s2, p.r2));
+  }
+}
+
+TEST(Picker, HiddenPairsHaveDeafSendersAndSharedReceivers) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(3);
+  const auto pairs = picker.hidden_pairs(20, rng);
+  ASSERT_GT(pairs.size(), 0u);
+  for (const auto& p : pairs) {
+    EXPECT_FALSE(tb.in_range(p.s1, p.s2));
+    EXPECT_TRUE(tb.potential_link(p.s1, p.r1));
+    EXPECT_TRUE(tb.potential_link(p.s2, p.r2));
+    EXPECT_TRUE(tb.potential_link(p.s1, p.r2));
+    EXPECT_TRUE(tb.potential_link(p.s2, p.r1));
+  }
+}
+
+TEST(Picker, PairsAreDistinctNodes) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(4);
+  for (const auto& p : picker.in_range_pairs(30, rng)) {
+    std::set<phy::NodeId> ids = {p.s1, p.r1, p.s2, p.r2};
+    EXPECT_EQ(ids.size(), 4u);
+  }
+}
+
+TEST(Picker, ApScenarioRespectsRegionAndRangeRules) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(5);
+  for (int n = 3; n <= 6; ++n) {
+    const auto sc = picker.ap_scenario(n, rng);
+    if (!sc) continue;  // some buildings can't host 6 mutually-deaf APs
+    EXPECT_EQ(static_cast<int>(sc->cells.size()), n);
+    for (std::size_t i = 0; i < sc->cells.size(); ++i) {
+      EXPECT_TRUE(tb.potential_link(sc->cells[i].ap, sc->cells[i].client));
+      for (std::size_t j = i + 1; j < sc->cells.size(); ++j) {
+        EXPECT_FALSE(tb.in_range(sc->cells[i].ap, sc->cells[j].ap));
+      }
+    }
+  }
+}
+
+TEST(Picker, ApScenarioExistsForThreeAps) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(6);
+  EXPECT_TRUE(picker.ap_scenario(3, rng).has_value());
+}
+
+TEST(Picker, MeshScenarioLinksArePotential) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(7);
+  const auto sc = picker.mesh_scenario(3, rng);
+  ASSERT_TRUE(sc.has_value());
+  ASSERT_EQ(sc->a.size(), 3u);
+  ASSERT_EQ(sc->b.size(), 3u);
+  std::set<phy::NodeId> ids = {sc->s};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tb.potential_link(sc->s, sc->a[i]));
+    EXPECT_TRUE(tb.potential_link(sc->a[i], sc->b[i]));
+    ids.insert(sc->a[i]);
+    ids.insert(sc->b[i]);
+  }
+  EXPECT_EQ(ids.size(), 7u);  // all participants distinct
+}
+
+TEST(Picker, InterfererTriplesAreValid) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(8);
+  const auto triples = picker.interferer_triples(50, rng);
+  ASSERT_EQ(triples.size(), 50u);
+  for (const auto& t : triples) {
+    EXPECT_TRUE(tb.potential_link(t.s, t.r));
+    EXPECT_NE(t.i, t.s);
+    EXPECT_NE(t.i, t.r);
+  }
+}
+
+TEST(Picker, SamplingIsDeterministicPerSeed) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng r1(42), r2(42), r3(43);
+  const auto a = picker.in_range_pairs(10, r1);
+  const auto b = picker.in_range_pairs(10, r2);
+  const auto c = picker.in_range_pairs(10, r3);
+  ASSERT_EQ(a.size(), b.size());
+  bool same_ab = true, same_ac = a.size() == c.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same_ab = same_ab && a[i].s1 == b[i].s1 && a[i].r1 == b[i].r1 &&
+              a[i].s2 == b[i].s2 && a[i].r2 == b[i].r2;
+    if (same_ac && i < c.size()) {
+      same_ac = a[i].s1 == c[i].s1 && a[i].r1 == c[i].r1;
+    }
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac && a.size() > 3);
+}
+
+TEST(Picker, PotentialLinksListMatchesPredicate) {
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  for (const auto& [a, b] : picker.potential_links()) {
+    EXPECT_TRUE(tb.potential_link(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace cmap::testbed
