@@ -1,8 +1,12 @@
 // Ablation (§3.2 optimization): per-destination queues. While the head
 // destination is deferred, a sender with traffic to another destination
 // may serve it instead. The paper sketches this and "believes it will
-// further improve throughput" — measured here.
-#include "bench_util.h"
+// further improve throughput" — measured here via the dest_queue_ablation
+// scenario (a conflicting in-range pair plus a clean alternative
+// destination) with the per-dest knob as the variant axis.
+#include <algorithm>
+
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -10,66 +14,24 @@ using namespace cmap::bench;
 int main() {
   const Scale s = load_scale();
   print_header("Ablation: per-destination queues (§3.2 optimization)",
-               "paper: expected to further improve throughput (future "
-               "work)",
+               "expected to further improve throughput (future work)",
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0xab3);
-  // Conflicting two-sender configurations: in-range pairs where raw
-  // concurrency hurts are most likely to trigger deferrals; give sender 1
-  // a second destination that is NOT in conflict (picked near itself).
-  const auto pairs = picker.in_range_pairs(std::min(s.configs, 12), rng);
-  const auto links = picker.potential_links();
+  auto sweep = make_sweep(s, "dest_queue_ablation", {testbed::Scheme::kCmap});
+  sweep.topologies = std::min(s.configs, 12);
+  sweep.variants = {
+      {"per-dest OFF",
+       [](testbed::RunConfig& rc) { rc.per_dest_queues = false; }},
+      {"per-dest ON",
+       [](testbed::RunConfig& rc) { rc.per_dest_queues = true; }}};
+  const auto report = make_runner(s).run(sweep, tb);
+  maybe_write_json(report);
 
-  stats::Distribution off, on;
-  int used = 0;
-  for (const auto& p : pairs) {
-    // Alternative destination for s1: a potential link to someone who is
-    // not in range of the competing sender s2.
-    phy::NodeId alt = phy::kBroadcastId;
-    for (const auto& [a, b] : links) {
-      if (a != p.s1) continue;
-      if (b == p.r1 || b == p.r2 || b == p.s2) continue;
-      if (tb.in_range(p.s2, b)) continue;
-      alt = b;
-      break;
-    }
-    if (alt == phy::kBroadcastId) continue;
-    ++used;
-    for (bool pdq : {false, true}) {
-      testbed::RunConfig rc = make_run_config(s, testbed::Scheme::kCmap);
-      rc.per_dest_queues = pdq;
-      testbed::World world(tb, rc);
-      world.add_node(p.s1);
-      world.add_node(p.r1);
-      world.add_node(alt);
-      world.add_saturated_flow(p.s2, p.r2);
-      // s1 alternates between the conflicted and the clean destination.
-      world.add_node(p.s2);
-      auto& m = world.mac(p.s1);
-      static std::uint64_t id = 1;
-      const phy::NodeId s1 = p.s1, r1 = p.r1;
-      auto fill = [&m, s1, r1, alt, bytes = rc.packet_bytes]() {
-        while (m.queue_depth() < 64) {
-          mac::Packet pkt;
-          pkt.src = s1;
-          pkt.dst = (id % 2 == 0) ? r1 : alt;
-          pkt.id = ++id;
-          pkt.bytes = bytes;
-          if (!m.send(pkt)) break;
-        }
-      };
-      m.set_drain_handler(fill);
-      fill();
-      world.run(rc.duration);
-      const double total = world.sink(p.r1).meter().mbps() +
-                           world.sink(alt).meter().mbps();
-      (pdq ? on : off).add(total);
-    }
-  }
-  std::printf("configurations with an alternative destination: %d\n", used);
+  std::printf("configurations with an alternative destination: %zu\n",
+              report.rows().size() / sweep.variants.size());
+  const auto off = report.aggregate("CMAP", "per-dest OFF");
+  const auto on = report.aggregate("CMAP", "per-dest ON");
   print_cdf("per-dest OFF", off);
   print_cdf("per-dest ON", on);
   if (!off.empty()) {

@@ -3,7 +3,9 @@
 // waits) pays batching latency; the integrated/PPR mode (in-frame
 // header/trailer segments, salvageable, per-packet decisions) reacts
 // faster and wastes less airtime, at the cost of requiring PHY support.
-#include "bench_util.h"
+#include <algorithm>
+
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -16,30 +18,26 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0xab2);
+  const auto runner = make_runner(s);
 
   struct Group {
     const char* name;
-    std::vector<testbed::LinkPair> pairs;
+    const char* scenario;
   };
-  Group groups[] = {
-      {"exposed", picker.exposed_pairs(std::min(s.configs, 12), rng)},
-      {"in-range", picker.in_range_pairs(std::min(s.configs, 12), rng)},
-      {"hidden", picker.hidden_pairs(std::min(s.configs, 12), rng)},
-  };
+  const Group groups[] = {{"exposed", "fig12_exposed"},
+                          {"in-range", "fig13_inrange"},
+                          {"hidden", "fig15_hidden"}};
   for (const auto& g : groups) {
-    stats::Distribution shim, integrated, cs;
-    for (const auto& p : g.pairs) {
-      cs.add(pair_aggregate_mbps(tb, p, s, testbed::Scheme::kCsma));
-      shim.add(pair_aggregate_mbps(tb, p, s, testbed::Scheme::kCmap));
-      integrated.add(
-          pair_aggregate_mbps(tb, p, s, testbed::Scheme::kCmapIntegrated));
-    }
-    std::printf("\n-- %s pairs (%zu) --\n", g.name, g.pairs.size());
-    print_cdf("CS,acks", cs);
-    print_cdf("CMAP shim", shim);
-    print_cdf("CMAP integrated", integrated);
+    auto sweep = make_sweep(s, g.scenario,
+                            {testbed::Scheme::kCsma, testbed::Scheme::kCmap,
+                             testbed::Scheme::kCmapIntegrated});
+    sweep.topologies = std::min(s.configs, 12);
+    const auto report = runner.run(sweep, tb);
+    std::printf("\n-- %s pairs (%zu) --\n", g.name,
+                report.rows().size() / sweep.schemes.size());
+    print_cdf("CS,acks", report.aggregate("CS,acks"));
+    print_cdf("CMAP shim", report.aggregate("CMAP"));
+    print_cdf("CMAP integrated", report.aggregate("CMAP,integrated"));
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // §4.2 calibration: on a single clean link, CMAP's virtual-packet pipeline
 // must be throughput-comparable to 802.11 with ACKs (paper: 5.04 vs 5.07
 // Mbit/s at the 6 Mbit/s rate), enabling a fair comparison elsewhere.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -13,29 +13,18 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed);
-  const auto links = picker.potential_links();
-  if (links.empty()) {
+  const auto sweep = make_sweep(
+      s, "single_link", {testbed::Scheme::kCsma, testbed::Scheme::kCmap});
+  const auto report = make_runner(s).run(sweep, tb);
+  if (report.empty()) {
     std::printf("no potential links in this building\n");
     return 1;
   }
+  report.print_table();
+  maybe_write_json(report);
 
-  stats::Distribution csma, cmap_d;
-  const int n = std::min<int>(s.configs, static_cast<int>(links.size()));
-  for (int i = 0; i < n; ++i) {
-    const auto& [src, dst] =
-        links[rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1)];
-    const std::vector<testbed::Flow> flow = {{src, dst}};
-    csma.add(testbed::run_flows(tb, flow,
-                                make_run_config(s, testbed::Scheme::kCsma))
-                 .aggregate_mbps);
-    cmap_d.add(testbed::run_flows(tb, flow,
-                                  make_run_config(s, testbed::Scheme::kCmap))
-                   .aggregate_mbps);
-  }
-  print_cdf("802.11 CS,acks", csma);
-  print_cdf("CMAP", cmap_d);
+  const auto csma = report.aggregate("CS,acks");
+  const auto cmap_d = report.aggregate("CMAP");
   std::printf("ratio CMAP/802.11 (median): %.3f  (paper: 5.04/5.07 = 0.994)\n",
               cmap_d.median() / csma.median());
   return 0;

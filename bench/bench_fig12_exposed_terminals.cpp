@@ -4,7 +4,7 @@
 //   * CMAP achieves ~2x by letting both flows run concurrently;
 //   * CMAP with a window of 1 VP reaches only ~1.5x (ACK losses);
 //   * with CS and ACKs off, ~15% of pairs are not actually exposed.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -16,35 +16,32 @@ int main() {
       "CMAP ~2x over CS; CMAP(win=1) ~1.5x; 15% of pairs not exposed", s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x12);
-  const auto pairs = picker.exposed_pairs(s.configs, rng);
-  std::printf("exposed-terminal configurations found: %zu\n", pairs.size());
+  const auto sweep = make_sweep(
+      s, "fig12_exposed",
+      {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffNoAcks,
+       testbed::Scheme::kCmap, testbed::Scheme::kCmapWin1});
+  const auto report = make_runner(s).run(sweep, tb);
+  std::printf("exposed-terminal configurations found: %zu\n",
+              report.rows().size() / sweep.schemes.size());
 
-  const testbed::Scheme schemes[] = {
-      testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffNoAcks,
-      testbed::Scheme::kCmap, testbed::Scheme::kCmapWin1};
-  stats::Distribution dist[4];
-  for (const auto& p : pairs) {
-    for (int i = 0; i < 4; ++i) {
-      dist[i].add(pair_aggregate_mbps(tb, p, s, schemes[i]));
-    }
-  }
-  for (int i = 0; i < 4; ++i) {
-    print_cdf(scheme_name(schemes[i]), dist[i]);
-  }
-  if (!dist[0].empty()) {
+  report.print_table();
+  maybe_write_json(report);
+
+  const auto cs = report.aggregate("CS,acks");
+  const auto cmap_d = report.aggregate("CMAP");
+  const auto win1 = report.aggregate("CMAP,win=1");
+  if (!cs.empty()) {
     std::printf("\nmedian gain CMAP / CS,acks:        %.2fx  (paper ~2x)\n",
-                dist[2].median() / dist[0].median());
+                cmap_d.median() / cs.median());
     std::printf("median gain CMAP(win=1) / CS,acks: %.2fx  (paper ~1.5x)\n",
-                dist[3].median() / dist[0].median());
+                win1.median() / cs.median());
     // "Not exposed" fraction: pairs where raw concurrency (CS off, no
     // acks) fails to deliver meaningfully more than serialized 802.11.
+    const auto raw = report.aggregates_of("CSoff,noacks");
+    const auto serialized = report.aggregates_of("CS,acks");
     int not_exposed = 0;
-    const auto& raw = dist[1].values();
-    const auto& cs = dist[0].values();
     for (std::size_t i = 0; i < raw.size(); ++i) {
-      if (raw[i] < 1.3 * cs[i]) ++not_exposed;
+      if (raw[i] < 1.3 * serialized[i]) ++not_exposed;
     }
     std::printf("fraction not actually exposed:     %.0f%%  (paper ~15%%)\n",
                 100.0 * not_exposed / static_cast<double>(raw.size()));

@@ -3,7 +3,9 @@
 // of pairs where concurrency is deleterious (tracking CS-on) and transmit
 // concurrently on pairs where it helps (tracking CS-off), while CS-off
 // with ACKs suffers from stop-and-wait ACK loss.
-#include "bench_util.h"
+#include <algorithm>
+
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -16,39 +18,31 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x13);
-  const auto pairs = picker.in_range_pairs(s.configs, rng);
-  std::printf("in-range configurations found: %zu\n", pairs.size());
+  const auto sweep = make_sweep(
+      s, "fig13_inrange",
+      {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+       testbed::Scheme::kCsmaOffNoAcks, testbed::Scheme::kCmap});
+  const auto report = make_runner(s).run(sweep, tb);
+  std::printf("in-range configurations found: %zu\n",
+              report.rows().size() / sweep.schemes.size());
 
-  const testbed::Scheme schemes[] = {
-      testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
-      testbed::Scheme::kCsmaOffNoAcks, testbed::Scheme::kCmap};
-  stats::Distribution dist[4];
-  std::vector<std::array<double, 4>> rows;
-  for (const auto& p : pairs) {
-    std::array<double, 4> row{};
-    for (int i = 0; i < 4; ++i) {
-      row[i] = pair_aggregate_mbps(tb, p, s, schemes[i]);
-      dist[i].add(row[i]);
-    }
-    rows.push_back(row);
-  }
-  for (int i = 0; i < 4; ++i) {
-    print_cdf(scheme_name(schemes[i]), dist[i]);
-  }
-  if (!rows.empty()) {
+  report.print_table();
+  maybe_write_json(report);
+
+  const auto cs = report.aggregates_of("CS,acks");
+  const auto raw = report.aggregates_of("CSoff,noacks");
+  const auto cmap_d = report.aggregates_of("CMAP");
+  if (!cs.empty()) {
     int deleterious = 0, cmap_ok = 0;
-    for (const auto& r : rows) {
-      if (r[2] < 0.9 * r[0]) ++deleterious;  // raw concurrency hurt
-      if (r[3] >= 0.8 * std::max(r[0], r[2])) ++cmap_ok;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (raw[i] < 0.9 * cs[i]) ++deleterious;  // raw concurrency hurt
+      if (cmap_d[i] >= 0.8 * std::max(cs[i], raw[i])) ++cmap_ok;
     }
     std::printf(
         "\npairs where concurrency is deleterious: %.0f%% (paper ~15%%)\n",
-        100.0 * deleterious / rows.size());
-    std::printf(
-        "pairs where CMAP tracks the better of CS/CS-off: %.0f%%\n",
-        100.0 * cmap_ok / rows.size());
+        100.0 * deleterious / static_cast<double>(cs.size()));
+    std::printf("pairs where CMAP tracks the better of CS/CS-off: %.0f%%\n",
+                100.0 * cmap_ok / static_cast<double>(cs.size()));
   }
   return 0;
 }

@@ -6,19 +6,18 @@
 // E[p * 1 + (1-p) * T] with p = max(PRR(I->R) + PRR(I->S) - 1, 0).
 #include <algorithm>
 
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
 
 int main() {
-  Scale s = load_scale();
+  const Scale s = load_scale();
   // This experiment uses many short runs; scale the count up and the
   // duration down relative to the CDF benches.
   const int triples_count =
       static_cast<int>(env_long("CMAP_BENCH_CONFIGS", s.full ? 500 : 120));
   const sim::Time dur = s.full ? sim::seconds(20) : s.duration / 2;
-  const sim::Time warm = dur / 4;
   print_header("Figure 14: hidden interferers",
                "~8% of triples in bottom-left quadrant; expected CMAP "
                "throughput ~0.896",
@@ -27,34 +26,27 @@ int main() {
               sim::to_seconds(dur));
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x14);
-  const auto triples = picker.interferer_triples(triples_count, rng);
-
-  testbed::RunConfig rc = make_run_config(s, testbed::Scheme::kCsmaOffNoAcks);
-  rc.duration = dur;
-  rc.warmup = warm;
+  scenario::Sweep sweep;
+  sweep.scenario = "interferer_triple";
+  sweep.schemes = {testbed::Scheme::kCsmaOffNoAcks};
+  sweep.topologies = triples_count;
+  sweep.base_seed = s.seed;
+  sweep.duration = dur;
+  sweep.warmup = dur / 4;
+  const auto report = make_runner(s).run(sweep, tb);
+  maybe_write_json(report);
 
   int bottom_left = 0;
   double expected_cmap_sum = 0.0;
   int n = 0;
   std::printf("   minPRR  normT   (first 20 rows shown)\n");
-  for (const auto& t : triples) {
-    // Throughput of S->R alone, then with I blasting continuously.
-    const double alone =
-        testbed::run_flows(tb, {{t.s, t.r}}, rc).flows[0].mbps;
-    if (alone <= 0.01) continue;
-    testbed::World world(tb, rc);
-    world.add_saturated_flow(t.s, t.r);
-    world.add_saturated_flow(t.i, phy::kBroadcastId);
-    world.run(rc.duration);
-    const double with_i = world.sink(t.r).meter().mbps();
-    const double norm = std::min(1.0, with_i / alone);
-    const double pr = tb.prr(t.i, t.r);
-    const double ps = tb.prr(t.i, t.s);
-    const double min_prr = std::min(pr, ps);
+  for (const auto& row : report.rows()) {
+    const double norm = row.metric("norm_throughput");
+    const double min_prr = row.metric("min_prr");
     if (norm < 0.5 && min_prr < 0.5) ++bottom_left;
-    const double p = std::max(pr + ps - 1.0, 0.0);
+    const double p = std::max(
+        row.metric("prr_to_receiver") + row.metric("prr_to_sender") - 1.0,
+        0.0);
     expected_cmap_sum += p * 1.0 + (1.0 - p) * norm;
     ++n;
     if (n <= 20) std::printf("   %6.3f %6.3f\n", min_prr, norm);

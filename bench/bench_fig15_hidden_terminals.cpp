@@ -2,7 +2,7 @@
 // decode both. Carrier sense cannot help and the conflict map cannot see
 // the interferer; CMAP's loss-rate backoff must keep it no worse than the
 // 802.11 status quo, and nobody beats a single pair's throughput.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -15,28 +15,24 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x15);
-  const auto pairs = picker.hidden_pairs(s.configs, rng);
-  std::printf("hidden-terminal configurations found: %zu\n", pairs.size());
+  const auto sweep = make_sweep(s, "fig15_hidden",
+                                {testbed::Scheme::kCsma,
+                                 testbed::Scheme::kCsmaOffAcks,
+                                 testbed::Scheme::kCmap});
+  const auto report = make_runner(s).run(sweep, tb);
+  std::printf("hidden-terminal configurations found: %zu\n",
+              report.rows().size() / sweep.schemes.size());
 
-  const testbed::Scheme schemes[] = {testbed::Scheme::kCsma,
-                                     testbed::Scheme::kCsmaOffAcks,
-                                     testbed::Scheme::kCmap};
-  stats::Distribution dist[3];
-  for (const auto& p : pairs) {
-    for (int i = 0; i < 3; ++i) {
-      dist[i].add(pair_aggregate_mbps(tb, p, s, schemes[i]));
-    }
-  }
-  for (int i = 0; i < 3; ++i) {
-    print_cdf(scheme_name(schemes[i]), dist[i]);
-  }
-  if (!dist[0].empty()) {
+  report.print_table();
+  maybe_write_json(report);
+
+  const auto cs = report.aggregate("CS,acks");
+  const auto cmap_d = report.aggregate("CMAP");
+  if (!cs.empty()) {
     std::printf("\nCMAP / CS,acks median ratio: %.2f (paper ~1.0)\n",
-                dist[2].median() / dist[0].median());
+                cmap_d.median() / cs.median());
     std::printf("CMAP mass above 6 Mbit/s: %.0f%% (paper: very little)\n",
-                100.0 * (1.0 - dist[2].cdf_at(6.0)));
+                100.0 * (1.0 - cmap_d.cdf_at(6.0)));
   }
   return 0;
 }

@@ -5,21 +5,17 @@
 // Paper: P(header or trailer) > P(header), with the gap largest when the
 // senders are hidden from each other and collide persistently; near 1
 // when senders are in range.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
 
 namespace {
 
-void run_group(const testbed::Testbed& tb,
-               const std::vector<testbed::LinkPair>& pairs, const Scale& s,
-               stats::Distribution* hdr, stats::Distribution* delim) {
-  for (const auto& p : pairs) {
-    const std::vector<testbed::Flow> flows = {{p.s1, p.r1}, {p.s2, p.r2}};
-    const auto result = testbed::run_flows(
-        tb, flows, make_run_config(s, testbed::Scheme::kCmap));
-    for (const auto& f : result.flows) {
+void vp_reception(const stats::SweepReport& report, stats::Distribution* hdr,
+                  stats::Distribution* delim) {
+  for (const auto& row : report.rows()) {
+    for (const auto& f : row.flows) {
       if (f.vps_sent == 0) continue;
       hdr->add(static_cast<double>(f.rx_vps_header) /
                static_cast<double>(f.vps_sent));
@@ -39,12 +35,15 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x16);
+  const auto runner = make_runner(s);
+  const auto in_report =
+      runner.run(make_sweep(s, "fig13_inrange", {testbed::Scheme::kCmap}), tb);
+  const auto out_report =
+      runner.run(make_sweep(s, "fig15_hidden", {testbed::Scheme::kCmap}), tb);
 
   stats::Distribution in_hdr, in_delim, out_hdr, out_delim;
-  run_group(tb, picker.in_range_pairs(s.configs, rng), s, &in_hdr, &in_delim);
-  run_group(tb, picker.hidden_pairs(s.configs, rng), s, &out_hdr, &out_delim);
+  vp_reception(in_report, &in_hdr, &in_delim);
+  vp_reception(out_report, &out_hdr, &out_delim);
 
   print_cdf("in-range hdr", in_hdr);
   print_cdf("in-range h|t", in_delim);

@@ -3,7 +3,7 @@
 // in a random direction. Mean aggregate throughput vs N for 802.11 CS on,
 // CS off, and CMAP. Paper: CMAP gains between +21% (N=3) and +47% (N=4)
 // over the status quo.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -17,37 +17,28 @@ int main() {
   std::printf("runs per N: %d\n\n", runs_per_n);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
+  const auto runner = make_runner(s);
 
-  const testbed::Scheme schemes[] = {testbed::Scheme::kCsma,
-                                     testbed::Scheme::kCsmaOffAcks,
-                                     testbed::Scheme::kCmap};
   std::printf("%-4s %-12s %-12s %-12s %s\n", "N", "CS on", "CS off", "CMAP",
               "CMAP gain vs CS");
   for (int n_aps = 3; n_aps <= 6; ++n_aps) {
-    stats::Distribution agg[3];
-    sim::Rng rng(s.seed * 1000 + n_aps);
-    for (int run = 0; run < runs_per_n; ++run) {
-      const auto sc = picker.ap_scenario(n_aps, rng);
-      if (!sc) continue;
-      std::vector<testbed::Flow> flows;
-      for (const auto& cell : sc->cells) {
-        flows.push_back({cell.sender(), cell.receiver()});
-      }
-      for (int i = 0; i < 3; ++i) {
-        testbed::RunConfig rc = make_run_config(s, schemes[i]);
-        rc.seed += static_cast<std::uint64_t>(run) * 101;
-        agg[i].add(testbed::run_flows(tb, flows, rc).aggregate_mbps);
-      }
-    }
-    if (agg[0].empty()) {
+    auto sweep = make_sweep(s, "ap_wlan_" + std::to_string(n_aps),
+                            {testbed::Scheme::kCsma,
+                             testbed::Scheme::kCsmaOffAcks,
+                             testbed::Scheme::kCmap});
+    sweep.topologies = runs_per_n;
+    const auto report = runner.run(sweep, tb);
+    const auto cs = report.aggregate("CS,acks");
+    const auto cs_off = report.aggregate("CSoff,acks");
+    const auto cm = report.aggregate("CMAP");
+    if (cs.empty()) {
       std::printf("%-4d (no scenario found)\n", n_aps);
       continue;
     }
     std::printf("%-4d %5.2f ± %-5.2f %5.2f ± %-5.2f %5.2f ± %-5.2f %+5.1f%%\n",
-                n_aps, agg[0].mean(), agg[0].stddev(), agg[1].mean(),
-                agg[1].stddev(), agg[2].mean(), agg[2].stddev(),
-                100.0 * (agg[2].mean() / agg[0].mean() - 1.0));
+                n_aps, cs.mean(), cs.stddev(), cs_off.mean(), cs_off.stddev(),
+                cm.mean(), cm.stddev(),
+                100.0 * (cm.mean() / cs.mean() - 1.0));
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // Figure 18 (§5.6): CDF of per-sender throughput across all AP-topology
 // runs (N = 3..6). Paper: CMAP raises the median per-sender throughput
 // from ~2.5 to ~4.6 Mbit/s — a factor of ~1.8 over 802.11.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -14,31 +14,24 @@ int main() {
                "CMAP median ~1.8x 802.11 (2.5 -> 4.6 Mbit/s)", s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
+  const auto runner = make_runner(s);
 
-  const testbed::Scheme schemes[] = {testbed::Scheme::kCsma,
-                                     testbed::Scheme::kCsmaOffAcks,
-                                     testbed::Scheme::kCmap};
+  const char* names[] = {"CS,acks", "CSoff,acks", "CMAP"};
   stats::Distribution per_sender[3];
   for (int n_aps = 3; n_aps <= 6; ++n_aps) {
-    sim::Rng rng(s.seed * 1000 + n_aps);
-    for (int run = 0; run < runs_per_n; ++run) {
-      const auto sc = picker.ap_scenario(n_aps, rng);
-      if (!sc) continue;
-      std::vector<testbed::Flow> flows;
-      for (const auto& cell : sc->cells) {
-        flows.push_back({cell.sender(), cell.receiver()});
-      }
-      for (int i = 0; i < 3; ++i) {
-        testbed::RunConfig rc = make_run_config(s, schemes[i]);
-        rc.seed += static_cast<std::uint64_t>(run) * 101;
-        const auto result = testbed::run_flows(tb, flows, rc);
-        for (const auto& f : result.flows) per_sender[i].add(f.mbps);
-      }
+    auto sweep = make_sweep(s, "ap_wlan_" + std::to_string(n_aps),
+                            {testbed::Scheme::kCsma,
+                             testbed::Scheme::kCsmaOffAcks,
+                             testbed::Scheme::kCmap});
+    sweep.topologies = runs_per_n;
+    const auto report = runner.run(sweep, tb);
+    for (int i = 0; i < 3; ++i) {
+      const stats::Distribution d = report.per_flow_mbps(names[i]);
+      for (double v : d.values()) per_sender[i].add(v);
     }
   }
   for (int i = 0; i < 3; ++i) {
-    print_cdf(scheme_name(schemes[i]), per_sender[i]);
+    print_cdf(names[i], per_sender[i]);
   }
   if (!per_sender[0].empty()) {
     std::printf("\nCMAP median / CS median: %.2fx (paper ~1.8x)\n",

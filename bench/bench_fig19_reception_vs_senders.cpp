@@ -3,7 +3,7 @@
 // senders. Paper: the median stays roughly flat, while the 10th
 // percentile drops sharply — a small fraction of receivers cannot run the
 // conflict-map machinery under heavy concurrency.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -16,34 +16,18 @@ int main() {
                "median flat; 10th percentile drops with concurrency", s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  const auto links = picker.potential_links();
+  const auto runner = make_runner(s);
 
   std::printf("%-3s %-6s %-6s %-6s %-6s %-6s\n", "k", "mean", "p10", "p25",
               "median", "p75");
   for (int k = 2; k <= 7; ++k) {
+    auto sweep = make_sweep(s, "disjoint_flows_" + std::to_string(k),
+                            {testbed::Scheme::kCmap});
+    sweep.topologies = runs_per_k;
+    const auto report = runner.run(sweep, tb);
     stats::Distribution d;
-    sim::Rng rng(s.seed * 31 + k);
-    for (int run = 0; run < runs_per_k; ++run) {
-      // k concurrent flows over disjoint node sets.
-      std::vector<testbed::Flow> flows;
-      std::vector<phy::NodeId> used;
-      int guard = 0;
-      while (static_cast<int>(flows.size()) < k && guard++ < 4000) {
-        const auto& [a, b] = links[rng.uniform_int(
-            0, static_cast<std::int64_t>(links.size()) - 1)];
-        bool clash = false;
-        for (phy::NodeId u : used) clash = clash || u == a || u == b;
-        if (clash) continue;
-        flows.push_back({a, b});
-        used.push_back(a);
-        used.push_back(b);
-      }
-      if (static_cast<int>(flows.size()) < k) continue;
-      testbed::RunConfig rc = make_run_config(s, testbed::Scheme::kCmap);
-      rc.seed += static_cast<std::uint64_t>(run) * 37;
-      const auto result = testbed::run_flows(tb, flows, rc);
-      for (const auto& f : result.flows) {
+    for (const auto& row : report.rows()) {
+      for (const auto& f : row.flows) {
         if (f.vps_sent == 0) continue;
         d.add(static_cast<double>(f.rx_vps_delim) /
               static_cast<double>(f.vps_sent));

@@ -3,7 +3,7 @@
 // rate. Paper: CMAP keeps its advantage at higher bit-rates, though the
 // number of exploitable exposed-terminal opportunities shrinks as the
 // required SINR grows.
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
@@ -16,25 +16,24 @@ int main() {
                s);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x20);
-  const auto pairs = picker.exposed_pairs(s.configs, rng);
-  std::printf("exposed-terminal configurations: %zu\n", pairs.size());
+  auto sweep = make_sweep(s, "fig12_exposed",
+                          {testbed::Scheme::kCsma, testbed::Scheme::kCmap});
+  for (phy::WifiRate rate : {phy::WifiRate::k6Mbps, phy::WifiRate::k12Mbps,
+                             phy::WifiRate::k18Mbps}) {
+    sweep.variants.push_back(
+        {phy::rate_name(rate),
+         [rate](testbed::RunConfig& rc) { rc.data_rate = rate; }});
+  }
+  const auto report = make_runner(s).run(sweep, tb);
+  std::printf("exposed-terminal configurations: %zu\n",
+              report.rows().size() /
+                  (sweep.schemes.size() * sweep.variants.size()));
+  maybe_write_json(report);
 
-  const phy::WifiRate rates[] = {phy::WifiRate::k6Mbps, phy::WifiRate::k12Mbps,
-                                 phy::WifiRate::k18Mbps};
-  for (phy::WifiRate rate : rates) {
-    stats::Distribution cs, cm;
-    for (const auto& p : pairs) {
-      const std::vector<testbed::Flow> flows = {{p.s1, p.r1}, {p.s2, p.r2}};
-      testbed::RunConfig rc = make_run_config(s, testbed::Scheme::kCsma);
-      rc.data_rate = rate;
-      cs.add(testbed::run_flows(tb, flows, rc).aggregate_mbps);
-      rc = make_run_config(s, testbed::Scheme::kCmap);
-      rc.data_rate = rate;
-      cm.add(testbed::run_flows(tb, flows, rc).aggregate_mbps);
-    }
-    std::printf("\n-- data rate %s --\n", phy::rate_name(rate));
+  for (const auto& variant : sweep.variants) {
+    const auto cs = report.aggregate("CS,acks", variant.label);
+    const auto cm = report.aggregate("CMAP", variant.label);
+    std::printf("\n-- data rate %s --\n", variant.label.c_str());
     print_cdf("CS,acks", cs);
     print_cdf("CMAP", cm);
     if (!cs.empty()) {

@@ -1,0 +1,105 @@
+// Shared driver plumbing for the figure-reproduction benches, built on the
+// declarative scenario API: environment-driven scaling, sweep construction,
+// and report printing. Per-run orchestration (topology draws, seeding,
+// parallelism) lives in scenario::SweepRunner, not here.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/sweep.h"
+#include "stats/report.h"
+#include "stats/summary.h"
+#include "testbed/testbed.h"
+
+namespace cmap::bench {
+
+struct Scale {
+  sim::Time duration = sim::seconds(20);
+  sim::Time warmup = sim::seconds(8);
+  int configs = 16;
+  std::uint64_t seed = 1;
+  bool full = false;
+  int threads = 0;  // 0 = CMAP_BENCH_THREADS or hardware concurrency
+};
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+/// Reads CMAP_BENCH_* knobs; CMAP_BENCH_FULL=1 selects paper scale
+/// (100-second runs measured over the last 60, 50 configurations).
+/// CMAP_BENCH_THREADS caps the sweep runner's worker pool.
+inline Scale load_scale() {
+  Scale s;
+  s.full = env_long("CMAP_BENCH_FULL", 0) != 0;
+  if (s.full) {
+    s.duration = sim::seconds(100);
+    s.warmup = sim::seconds(40);
+    s.configs = 50;
+  }
+  const long secs = env_long("CMAP_BENCH_SECONDS", 0);
+  if (secs > 0) {
+    s.duration = sim::seconds(static_cast<double>(secs));
+    s.warmup = s.duration * 2 / 5;
+  }
+  s.configs = static_cast<int>(env_long("CMAP_BENCH_CONFIGS", s.configs));
+  s.seed = static_cast<std::uint64_t>(env_long("CMAP_BENCH_SEED", 1));
+  s.threads = static_cast<int>(env_long("CMAP_BENCH_THREADS", 0));
+  return s;
+}
+
+/// A sweep over `scenario` at this scale: one topology draw per config,
+/// scale-driven duration/warmup/seed.
+inline scenario::Sweep make_sweep(const Scale& s, std::string scenario_name,
+                                  std::vector<testbed::Scheme> schemes) {
+  scenario::Sweep sweep;
+  sweep.scenario = std::move(scenario_name);
+  sweep.schemes = std::move(schemes);
+  sweep.topologies = s.configs;
+  sweep.base_seed = s.seed;
+  sweep.duration = s.duration;
+  sweep.warmup = s.warmup;
+  return sweep;
+}
+
+inline scenario::SweepRunner make_runner(const Scale& s) {
+  return scenario::SweepRunner(s.threads);
+}
+
+inline void print_header(const char* figure, const char* paper_claim,
+                         const Scale& s) {
+  std::printf("== %s ==\n", figure);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf(
+      "scale: %.0f s runs (measure last %.0f s), %d configs, seed %llu, "
+      "%d threads%s\n",
+      sim::to_seconds(s.duration), sim::to_seconds(s.duration - s.warmup),
+      s.configs, static_cast<unsigned long long>(s.seed),
+      scenario::SweepRunner(s.threads).threads(), s.full ? " [FULL]" : "");
+}
+
+inline void print_cdf(const char* name, const stats::Distribution& d) {
+  stats::print_distribution_line(stdout, name, d);
+}
+
+/// Emit the report as JSON to the path in CMAP_BENCH_JSON, when set.
+inline void maybe_write_json(const stats::SweepReport& report) {
+  const char* path = std::getenv("CMAP_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const std::string json = report.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("[report written to %s]\n", path);
+}
+
+}  // namespace cmap::bench

@@ -3,49 +3,10 @@
 // Phase 2: each Ai forwards to its Bi concurrently — where exposed
 // terminals among the Ai are common. Per-sink throughput is the min of
 // the two hops; paper: CMAP beats 802.11-with-CS by ~52% on aggregate.
-#include <algorithm>
-
-#include "bench_util.h"
+#include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
-
-namespace {
-
-double mesh_aggregate(const testbed::Testbed& tb,
-                      const testbed::MeshScenario& sc, const Scale& s,
-                      testbed::Scheme scheme, std::uint64_t salt) {
-  // Phase 1: S broadcasts a batch sized to the phase duration.
-  testbed::RunConfig rc = make_run_config(s, scheme);
-  rc.seed += salt;
-  const sim::Time phase = s.duration / 2;
-  const sim::Time measure_from = phase / 5;
-
-  testbed::World w1(tb, rc);
-  w1.add_node(sc.s);
-  for (std::size_t i = 0; i < sc.a.size(); ++i) w1.add_node(sc.a[i]);
-  w1.add_saturated_flow(sc.s, phy::kBroadcastId);
-  w1.set_measurement_window(measure_from, phase);
-  w1.run(phase);
-
-  // Phase 2: the A's forward to the B's, concurrently.
-  testbed::World w2(tb, rc);
-  for (std::size_t i = 0; i < sc.a.size(); ++i) {
-    w2.add_saturated_flow(sc.a[i], sc.b[i]);
-  }
-  w2.set_measurement_window(measure_from, phase);
-  w2.run(phase);
-
-  double total = 0;
-  for (std::size_t i = 0; i < sc.a.size(); ++i) {
-    const double hop1 = w1.sink(sc.a[i]).meter().mbps();
-    const double hop2 = w2.sink(sc.b[i]).meter().mbps();
-    total += std::min(hop1, hop2);
-  }
-  return total;
-}
-
-}  // namespace
 
 int main() {
   const Scale s = load_scale();
@@ -56,18 +17,16 @@ int main() {
   std::printf("topologies: %d\n", topologies);
 
   testbed::Testbed tb({.seed = s.seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(s.seed ^ 0x57);
+  auto sweep = make_sweep(s, "mesh_dissemination",
+                          {testbed::Scheme::kCsma, testbed::Scheme::kCmap});
+  sweep.topologies = topologies;
+  const auto report = make_runner(s).run(sweep, tb);
 
-  stats::Distribution cs, cm;
-  for (int i = 0; i < topologies; ++i) {
-    const auto sc = picker.mesh_scenario(3, rng);
-    if (!sc) continue;
-    cs.add(mesh_aggregate(tb, *sc, s, testbed::Scheme::kCsma, i * 11));
-    cm.add(mesh_aggregate(tb, *sc, s, testbed::Scheme::kCmap, i * 11));
-  }
-  print_cdf("CS,acks", cs);
-  print_cdf("CMAP", cm);
+  report.print_table();
+  maybe_write_json(report);
+
+  const auto cs = report.aggregate("CS,acks");
+  const auto cm = report.aggregate("CMAP");
   if (!cs.empty()) {
     std::printf("\nmean aggregate gain: %+.1f%% (paper ~+52%%)\n",
                 100.0 * (cm.mean() / cs.mean() - 1.0));

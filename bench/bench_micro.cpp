@@ -7,6 +7,7 @@
 #include "phy/error_model.h"
 #include "phy/interference.h"
 #include "phy/units.h"
+#include "scenario/sweep.h"
 #include "sim/simulator.h"
 #include "testbed/testbed.h"
 
@@ -97,6 +98,27 @@ void BM_DeferTableLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeferTableLookup)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SeedMix(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::mix_seed({1, 0xfeed, 3, 0, i++, 0}));
+  }
+}
+BENCHMARK(BM_SeedMix);
+
+void BM_SweepExpand(benchmark::State& state) {
+  scenario::Sweep sweep;
+  sweep.scenario = "fig12_exposed";
+  sweep.schemes = {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+                   testbed::Scheme::kCmap, testbed::Scheme::kCmapWin1};
+  sweep.replicates = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scenario::SweepRunner::expand(sweep, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SweepExpand)->Arg(50)->Arg(500);
 
 void BM_TestbedConstruction(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,13 +1,13 @@
 // A §5.6-style wireless LAN on the simulated 50-node testbed: N access
 // points in distinct regions, one saturated AP<->client flow per cell,
-// compared across 802.11 and CMAP.
+// swept across 802.11 and CMAP via the ap_wlan_N registry scenarios.
 //
 // Usage: ap_network [n_aps=4] [seconds=20] [seed=1]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "testbed/experiment.h"
-#include "testbed/topology_picker.h"
+#include "scenario/sweep.h"
 
 using namespace cmap;
 
@@ -15,38 +15,40 @@ int main(int argc, char** argv) {
   const int n_aps = argc > 1 ? std::atoi(argv[1]) : 4;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 20.0;
   const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 1;
+  if (n_aps < 3 || n_aps > 6) {
+    std::printf("n_aps must be in 3..6 (got %d)\n", n_aps);
+    return 1;
+  }
 
   testbed::Testbed tb({.seed = seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(seed);
-  const auto scenario = picker.ap_scenario(n_aps, rng);
-  if (!scenario) {
+  scenario::Sweep sweep;
+  sweep.scenario = "ap_wlan_" + std::to_string(n_aps);
+  sweep.schemes = {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+                   testbed::Scheme::kCmap};
+  sweep.topologies = 1;
+  sweep.base_seed = seed;
+  sweep.duration = sim::seconds(seconds);
+  sweep.warmup = sim::seconds(seconds) * 2 / 5;
+
+  const auto cells = scenario::SweepRunner::draw_topologies(sweep, tb);
+  if (cells.empty()) {
     std::printf("no %d-AP scenario exists in this building (seed %llu)\n",
                 n_aps, static_cast<unsigned long long>(seed));
     return 1;
   }
-
   std::printf("WLAN with %d cells (seed %llu):\n", n_aps,
               static_cast<unsigned long long>(seed));
-  std::vector<testbed::Flow> flows;
-  for (const auto& cell : scenario->cells) {
-    std::printf("  AP %2u at (%4.1f, %4.1f)  client %2u  %s\n", cell.ap,
-                tb.position(cell.ap).x, tb.position(cell.ap).y, cell.client,
-                cell.downlink ? "downlink" : "uplink");
-    flows.push_back({cell.sender(), cell.receiver()});
+  for (const auto& f : cells[0].flows) {
+    std::printf("  %2u (%4.1f, %4.1f) -> %2u (%4.1f, %4.1f)\n", f.src,
+                tb.position(f.src).x, tb.position(f.src).y, f.dst,
+                tb.position(f.dst).x, tb.position(f.dst).y);
   }
 
-  for (auto scheme : {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
-                      testbed::Scheme::kCmap}) {
-    testbed::RunConfig rc;
-    rc.scheme = scheme;
-    rc.duration = sim::seconds(seconds);
-    rc.warmup = rc.duration * 2 / 5;
-    rc.seed = seed;
-    const auto result = run_flows(tb, flows, rc);
+  const auto report = scenario::SweepRunner().run(sweep, tb);
+  for (const auto& row : report.rows()) {
     std::printf("\n%-14s aggregate %6.2f Mbit/s  per-flow:",
-                scheme_name(scheme), result.aggregate_mbps);
-    for (const auto& f : result.flows) std::printf(" %5.2f", f.mbps);
+                row.scheme.c_str(), row.aggregate_mbps);
+    for (const auto& f : row.flows) std::printf(" %5.2f", f.mbps);
     std::printf("\n");
   }
   std::printf("\nPaper (§5.6): CMAP beats the status quo by 21%%..47%% on "

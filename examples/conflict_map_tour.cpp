@@ -3,6 +3,11 @@
 // interferer, interferer lists travel, defer tables fill, and the senders
 // begin interleaving. Prints the distributed state every second.
 //
+// This example deliberately stays BELOW the declarative scenario API
+// (scenario/sweep.h) — it hand-places four radios and pokes at MAC
+// internals mid-run, which is exactly the kind of bespoke instrumentation
+// the low-level simulator/medium/radio escape hatch exists for.
+//
 // Usage: conflict_map_tour [seconds=10]
 #include <cstdio>
 #include <cstdlib>

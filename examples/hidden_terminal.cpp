@@ -1,14 +1,14 @@
 // Hidden terminals (§5.5): two senders that cannot hear each other share a
 // pair of receivers. The conflict map cannot help (no headers to overhear)
-// — CMAP's loss-rate backoff is what prevents a meltdown. This example
-// shows the backoff state machine reacting.
+// — CMAP's loss-rate backoff is what prevents a meltdown. Runs the
+// fig15_hidden registry scenario on one drawn pair and shows the backoff
+// reacting (window timeouts in the flow rows).
 //
 // Usage: hidden_terminal [seconds=20] [seed=1]
 #include <cstdio>
 #include <cstdlib>
 
-#include "testbed/experiment.h"
-#include "testbed/topology_picker.h"
+#include "scenario/sweep.h"
 
 using namespace cmap;
 
@@ -17,41 +17,37 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 1;
 
   testbed::Testbed tb({.seed = seed});
-  testbed::TopologyPicker picker(tb);
-  sim::Rng rng(seed ^ 0x15);
-  const auto pairs = picker.hidden_pairs(1, rng);
-  if (pairs.empty()) {
+  scenario::Sweep sweep;
+  sweep.scenario = "fig15_hidden";
+  sweep.schemes = {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
+                   testbed::Scheme::kCmap};
+  sweep.topologies = 1;
+  sweep.base_seed = seed;
+  sweep.duration = sim::seconds(seconds);
+  sweep.warmup = sim::seconds(seconds) * 2 / 5;
+
+  const auto topos = scenario::SweepRunner::draw_topologies(sweep, tb);
+  if (topos.empty()) {
     std::printf("no hidden-terminal configuration found (seed %llu)\n",
                 static_cast<unsigned long long>(seed));
     return 1;
   }
-  const auto& p = pairs[0];
-  std::printf("hidden pair: %u->%u and %u->%u "
+  const auto& f1 = topos[0].flows[0];
+  const auto& f2 = topos[0].flows[1];
+  std::printf("hidden pair: %s "
               "(senders cannot hear each other: PRR %0.2f / %0.2f)\n\n",
-              p.s1, p.r1, p.s2, p.r2, tb.prr(p.s1, p.s2), tb.prr(p.s2, p.s1));
+              topos[0].label.c_str(), tb.prr(f1.src, f2.src),
+              tb.prr(f2.src, f1.src));
 
-  for (auto scheme : {testbed::Scheme::kCsma, testbed::Scheme::kCsmaOffAcks,
-                      testbed::Scheme::kCmap}) {
-    testbed::RunConfig rc;
-    rc.scheme = scheme;
-    rc.duration = sim::seconds(seconds);
-    rc.warmup = rc.duration * 2 / 5;
-    rc.seed = seed;
-
-    testbed::World world(tb, rc);
-    world.add_saturated_flow(p.s1, p.r1);
-    world.add_saturated_flow(p.s2, p.r2);
-    world.run(rc.duration);
-    const double t1 = world.sink(p.r1).meter().mbps();
-    const double t2 = world.sink(p.r2).meter().mbps();
+  const auto report = scenario::SweepRunner().run(sweep, tb);
+  for (const auto& row : report.rows()) {
     std::printf("%-14s flow1 %5.2f  flow2 %5.2f  total %5.2f Mbit/s",
-                scheme_name(scheme), t1, t2, t1 + t2);
-    if (auto* cm = world.cmap(p.s1)) {
-      std::printf("  [CW now %lld ms, %llu window timeouts]",
-                  static_cast<long long>(
-                      sim::to_milliseconds(cm->loss_backoff().cw())),
-                  static_cast<unsigned long long>(
-                      cm->counters().retx_timeouts));
+                row.scheme.c_str(), row.flows[0].mbps, row.flows[1].mbps,
+                row.aggregate_mbps);
+    if (row.flows[0].vps_sent > 0) {
+      std::printf("  [%llu + %llu window timeouts]",
+                  static_cast<unsigned long long>(row.flows[0].retx_timeouts),
+                  static_cast<unsigned long long>(row.flows[1].retx_timeouts));
     }
     std::printf("\n");
   }

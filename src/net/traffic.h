@@ -33,7 +33,7 @@ class SaturatedSource {
   std::size_t bytes_;
   std::uint32_t flow_;
   std::uint64_t offered_ = 0;
-  static std::uint64_t next_packet_id_;
+  std::uint64_t next_packet_id_;  // per-instance; see packet_id_base()
 };
 
 /// Enqueues a fixed batch of packets (the mesh source's dissemination
@@ -55,7 +55,7 @@ class BatchSource {
   std::size_t bytes_;
   std::uint32_t flow_;
   std::uint64_t remaining_;
-  static std::uint64_t next_packet_id_;
+  std::uint64_t next_packet_id_;  // per-instance; see packet_id_base()
 };
 
 /// Counts unique delivered packets (duplicates are already flagged by the

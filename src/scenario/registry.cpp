@@ -1,0 +1,41 @@
+#include "scenario/registry.h"
+
+#include "sim/assert.h"
+
+namespace cmap::scenario {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  CMAP_ASSERT(!scenario.name.empty(), "scenario must be named");
+  CMAP_ASSERT(static_cast<bool>(scenario.topology),
+              "scenario must define a topology generator");
+  scenarios_[scenario.name] = std::move(scenario);
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  const Scenario* s = find(name);
+  CMAP_ASSERT(s != nullptr, "unknown scenario");
+  return *s;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, s] : scenarios_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace cmap::scenario

@@ -1,0 +1,59 @@
+// Named scenario lookup. The global registry comes pre-loaded with every
+// builtin scenario (the paper's figures plus non-paper workloads); drivers
+// and libraries register additional scenarios at startup.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace cmap::scenario {
+
+class ScenarioRegistry {
+ public:
+  /// Register (or replace) a scenario under its own name.
+  void add(Scenario scenario);
+
+  /// nullptr when no scenario has that name.
+  const Scenario* find(const std::string& name) const;
+
+  /// Asserts that the scenario exists.
+  const Scenario& at(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// The process-wide registry, pre-loaded with the builtins.
+  static ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Install the builtin scenarios into `registry`:
+///   fig12_exposed, fig13_inrange, fig15_hidden  — the Fig. 11 two-pair
+///       constraint classes (§5.2/5.3/5.5);
+///   single_link          — §4.2 calibration links;
+///   ap_wlan, ap_wlan_3..ap_wlan_6 — §5.6 access-point cells;
+///   mesh_dissemination   — §5.7 two-hop dissemination (custom two-phase
+///       executor);
+///   interferer_triple    — §5.4 (S, R, I) triples (custom executor
+///       measuring normalized throughput under interference);
+///   disjoint_flows_2..disjoint_flows_7 — k concurrent disjoint flows
+///       (Fig. 19's sender-scaling workload);
+///   dest_queue_ablation  — §3.2 per-destination-queue ablation (custom
+///       executor with a two-destination sender);
+///   chain                — NEW: alternating hops of a random multi-hop
+///       chain transmit concurrently;
+///   mixed_floor          — NEW: one exposed and one hidden pair share the
+///       floor, testing per-pair discrimination.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace cmap::scenario

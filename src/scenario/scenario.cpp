@@ -1,0 +1,31 @@
+#include "scenario/scenario.h"
+
+#include <cstdio>
+
+namespace cmap::scenario {
+
+RunOutcome run_saturated_flows(const RunContext& ctx) {
+  const testbed::RunResult result =
+      testbed::run_flows(ctx.tb, ctx.topology.flows, ctx.config);
+  RunOutcome out;
+  out.aggregate_mbps = result.aggregate_mbps;
+  out.flows = result.flows;
+  return out;
+}
+
+std::string describe_flows(const std::vector<testbed::Flow>& flows) {
+  std::string label;
+  char buf[32];
+  for (const auto& f : flows) {
+    if (!label.empty()) label += ' ';
+    if (f.dst == phy::kBroadcastId) {
+      std::snprintf(buf, sizeof(buf), "%u->*", f.src);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%u->%u", f.src, f.dst);
+    }
+    label += buf;
+  }
+  return label;
+}
+
+}  // namespace cmap::scenario

@@ -1,0 +1,196 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/assert.h"
+
+namespace cmap::scenario {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t h = 0x6a09e667f3bcc908ull;  // sqrt(2) fractional bits
+  for (std::uint64_t p : parts) h = splitmix64(h ^ splitmix64(p));
+  return h;
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+int default_thread_count() {
+  if (const char* v = std::getenv("CMAP_BENCH_THREADS")) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<int>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads > 0 ? threads : default_thread_count()) {}
+
+std::vector<RunSpec> SweepRunner::expand(const Sweep& sweep,
+                                         int drawn_topologies) {
+  const int n_variants =
+      sweep.variants.empty() ? 1 : static_cast<int>(sweep.variants.size());
+  const std::uint64_t scenario_hash = hash_name(sweep.scenario);
+  std::vector<RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(sweep.schemes.size()) *
+                static_cast<std::size_t>(n_variants) *
+                static_cast<std::size_t>(drawn_topologies) *
+                static_cast<std::size_t>(sweep.replicates));
+  for (int sch = 0; sch < static_cast<int>(sweep.schemes.size()); ++sch) {
+    for (int var = 0; var < n_variants; ++var) {
+      for (int topo = 0; topo < drawn_topologies; ++topo) {
+        for (int rep = 0; rep < sweep.replicates; ++rep) {
+          RunSpec spec;
+          spec.scheme_index = sch;
+          spec.variant_index = var;
+          spec.topology_index = topo;
+          spec.replicate = rep;
+          spec.seed = mix_seed({sweep.base_seed, scenario_hash,
+                                static_cast<std::uint64_t>(sch),
+                                static_cast<std::uint64_t>(var),
+                                static_cast<std::uint64_t>(topo),
+                                static_cast<std::uint64_t>(rep)});
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<TopologyInstance> SweepRunner::draw_topologies(
+    const Sweep& sweep, const testbed::Testbed& tb,
+    const ScenarioRegistry& registry) {
+  const Scenario& scenario = registry.at(sweep.scenario);
+  sim::Rng topo_rng(
+      mix_seed({sweep.base_seed, hash_name(scenario.name), 0x109011ull}));
+  return scenario.topology(tb, sweep.topologies, topo_rng);
+}
+
+stats::SweepReport SweepRunner::run(const Sweep& sweep,
+                                    const testbed::Testbed& tb,
+                                    const ScenarioRegistry& registry) const {
+  const Scenario& scenario = registry.at(sweep.scenario);
+  CMAP_ASSERT(!sweep.schemes.empty(), "sweep needs at least one scheme");
+
+  // Topology draws happen once, on the calling thread, and are shared
+  // (read-only) by every cell so schemes compare over identical draws.
+  const std::vector<TopologyInstance> topologies =
+      draw_topologies(sweep, tb, registry);
+
+  const std::vector<RunSpec> specs =
+      expand(sweep, static_cast<int>(topologies.size()));
+
+  struct Slot {
+    bool valid = false;
+    stats::RunRow row;
+  };
+  std::vector<Slot> slots(specs.size());
+
+  const RunFn executor = scenario.run ? scenario.run : run_saturated_flows;
+  auto execute = [&](const RunSpec& spec, Slot& slot) {
+    testbed::RunConfig config = scenario.defaults;
+    config.scheme = sweep.schemes[static_cast<std::size_t>(spec.scheme_index)];
+    if (sweep.duration) config.duration = *sweep.duration;
+    if (sweep.warmup) config.warmup = *sweep.warmup;
+    const ConfigVariant* variant =
+        sweep.variants.empty()
+            ? nullptr
+            : &sweep.variants[static_cast<std::size_t>(spec.variant_index)];
+    if (variant && variant->apply) variant->apply(config);
+    config.seed = spec.seed;
+
+    const TopologyInstance& topo =
+        topologies[static_cast<std::size_t>(spec.topology_index)];
+    const RunOutcome outcome = executor(RunContext{tb, topo, config});
+    if (!outcome.valid) return;
+
+    stats::RunRow& row = slot.row;
+    row.scenario = scenario.name;
+    row.scheme = testbed::scheme_name(config.scheme);
+    row.variant = variant ? variant->label : "";
+    row.scheme_index = spec.scheme_index;
+    row.variant_index = spec.variant_index;
+    row.topology_index = spec.topology_index;
+    row.replicate = spec.replicate;
+    row.topology = topo.label;
+    row.seed = spec.seed;
+    row.aggregate_mbps = outcome.aggregate_mbps;
+    row.metrics = outcome.metrics;
+    row.flows.reserve(outcome.flows.size());
+    for (const auto& f : outcome.flows) {
+      stats::FlowRow fr;
+      fr.src = f.flow.src;
+      fr.dst = f.flow.dst;
+      fr.mbps = f.mbps;
+      fr.unique_packets = f.unique_packets;
+      fr.duplicates = f.duplicates;
+      fr.vps_sent = f.vps_sent;
+      fr.rx_vps_delim = f.rx_vps_delim;
+      fr.rx_vps_header = f.rx_vps_header;
+      fr.defer_events = f.defer_events;
+      fr.retx_timeouts = f.retx_timeouts;
+      row.flows.push_back(fr);
+    }
+    slot.valid = true;
+  };
+
+  const int workers =
+      std::min(threads_, static_cast<int>(specs.empty() ? 1 : specs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) execute(specs[i], slots[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size() || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          execute(specs[i], slots[i]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats::SweepReport report;
+  for (auto& slot : slots) {
+    if (slot.valid) report.add_row(std::move(slot.row));
+  }
+  return report;
+}
+
+}  // namespace cmap::scenario

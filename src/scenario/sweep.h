@@ -1,0 +1,97 @@
+// Sweep specification and parallel execution. A Sweep names a registered
+// Scenario and the comparison axes — MAC schemes, optional config variants
+// (knob settings), topology draws, and seed replicates — and SweepRunner
+// executes the cartesian product on a thread pool. Every run is an
+// independent simulation (own Simulator, World, and Rng), so execution is
+// embarrassingly parallel and the report is byte-identical regardless of
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "stats/report.h"
+
+namespace cmap::scenario {
+
+/// One setting of a secondary knob axis (e.g. a send-window size or data
+/// rate), applied to the RunConfig after the scheme.
+struct ConfigVariant {
+  std::string label;
+  std::function<void(testbed::RunConfig&)> apply;
+};
+
+struct Sweep {
+  std::string scenario;
+  std::vector<testbed::Scheme> schemes = {testbed::Scheme::kCsma,
+                                          testbed::Scheme::kCmap};
+  /// Secondary axis; empty means a single unlabeled identity variant.
+  std::vector<ConfigVariant> variants;
+  int topologies = 16;   // topology draws (shared across schemes/variants)
+  int replicates = 1;    // independent seeds per (scheme, variant, topology)
+  std::uint64_t base_seed = 1;
+  /// Override the scenario's default run length / measurement warmup.
+  std::optional<sim::Time> duration;
+  std::optional<sim::Time> warmup;
+};
+
+/// One expanded cell of a sweep's cartesian product.
+struct RunSpec {
+  int scheme_index = 0;
+  int variant_index = 0;
+  int topology_index = 0;
+  int replicate = 0;
+  std::uint64_t seed = 0;  // fully mixed; see mix_seed()
+};
+
+/// SplitMix64 finalizer (Steele, Lea & Flood) — the same mixer random.h
+/// uses for substream derivation.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Collision-resistant combination of run coordinates into one 64-bit
+/// seed. Replaces the old `seed * 7919 + scheme` bench derivation, whose
+/// low-entropy arithmetic collided across schemes and configs.
+std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts);
+
+/// FNV-1a, used to fold scenario names into the seed mix.
+std::uint64_t hash_name(const std::string& name);
+
+/// Worker count from the environment: CMAP_BENCH_THREADS if set, else the
+/// hardware concurrency (at least 1).
+int default_thread_count();
+
+class SweepRunner {
+ public:
+  /// `threads` <= 0 resolves via default_thread_count().
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Expand the sweep's axes against the number of topologies actually
+  /// drawn, with per-run mixed seeds. Execution order never affects
+  /// results; this defines the row order of the report.
+  static std::vector<RunSpec> expand(const Sweep& sweep, int drawn_topologies);
+
+  /// The exact topology draws run() will use for this sweep (same seeded
+  /// rng), for drivers that want to display or post-process them.
+  static std::vector<TopologyInstance> draw_topologies(
+      const Sweep& sweep, const testbed::Testbed& tb,
+      const ScenarioRegistry& registry = ScenarioRegistry::global());
+
+  /// Draw topologies, execute every cell on the thread pool, and collect
+  /// rows in deterministic (expansion) order.
+  stats::SweepReport run(
+      const Sweep& sweep, const testbed::Testbed& tb,
+      const ScenarioRegistry& registry = ScenarioRegistry::global()) const;
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace cmap::scenario

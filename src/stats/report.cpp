@@ -1,0 +1,228 @@
+#include "stats/report.h"
+
+#include <cinttypes>
+#include <cmath>
+
+namespace cmap::stats {
+
+double RunRow::metric(const std::string& name, double fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string SweepReport::Group::label() const {
+  if (variant.empty()) return scheme;
+  return scheme + " " + variant;
+}
+
+std::vector<SweepReport::Group> SweepReport::groups() const {
+  std::vector<Group> out;
+  for (const auto& row : rows_) {
+    bool known = false;
+    for (const auto& g : out) {
+      known = known || (g.scheme == row.scheme && g.variant == row.variant);
+    }
+    if (!known) out.push_back({row.scheme, row.variant});
+  }
+  return out;
+}
+
+Distribution SweepReport::aggregate(const std::string& scheme,
+                                    const std::string& variant) const {
+  Distribution d;
+  for (const auto& row : rows_) {
+    if (row.scheme == scheme && row.variant == variant) {
+      d.add(row.aggregate_mbps);
+    }
+  }
+  return d;
+}
+
+Distribution SweepReport::metric(const std::string& name,
+                                 const std::string& scheme,
+                                 const std::string& variant) const {
+  Distribution d;
+  for (const auto& row : rows_) {
+    if (row.scheme != scheme || row.variant != variant) continue;
+    for (const auto& [key, value] : row.metrics) {
+      if (key == name) d.add(value);
+    }
+  }
+  return d;
+}
+
+Distribution SweepReport::per_flow_mbps(const std::string& scheme,
+                                        const std::string& variant) const {
+  Distribution d;
+  for (const auto& row : rows_) {
+    if (row.scheme != scheme || row.variant != variant) continue;
+    for (const auto& f : row.flows) d.add(f.mbps);
+  }
+  return d;
+}
+
+const RunRow* SweepReport::find(const std::string& scheme, int topology_index,
+                                const std::string& variant,
+                                int replicate) const {
+  for (const auto& row : rows_) {
+    if (row.scheme == scheme && row.variant == variant &&
+        row.topology_index == topology_index && row.replicate == replicate) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<double> SweepReport::aggregates_of(const std::string& scheme,
+                                               const std::string& variant)
+    const {
+  std::vector<double> out;
+  for (const auto& row : rows_) {
+    if (row.scheme == scheme && row.variant == variant) {
+      out.push_back(row.aggregate_mbps);
+    }
+  }
+  return out;
+}
+
+void print_distribution_line(std::FILE* out, const char* name,
+                             const Distribution& d) {
+  if (d.empty()) {
+    std::fprintf(out, "%-16s (no samples)\n", name);
+    return;
+  }
+  std::fprintf(
+      out,
+      "%-16s n=%-3zu p10=%6.2f p25=%6.2f median=%6.2f p75=%6.2f p90=%6.2f "
+      "mean=%6.2f\n",
+      name, d.count(), d.percentile(10), d.percentile(25), d.median(),
+      d.percentile(75), d.percentile(90), d.mean());
+}
+
+void SweepReport::print_table(std::FILE* out) const {
+  for (const auto& g : groups()) {
+    print_distribution_line(out, g.label().c_str(),
+                            aggregate(g.scheme, g.variant));
+  }
+}
+
+namespace {
+
+// JSON string escaping for the label/name fields we emit (ASCII content;
+// control characters and quotes only).
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Shortest round-trippable formatting keeps the output deterministic and
+// re-parseable (%.17g always round-trips an IEEE double).
+void append_json_number(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SweepReport::to_json() const {
+  std::string out = "{\"runs\":[";
+  bool first_row = true;
+  for (const auto& row : rows_) {
+    if (!first_row) out += ',';
+    first_row = false;
+    out += "{\"scenario\":";
+    append_json_string(out, row.scenario);
+    out += ",\"scheme\":";
+    append_json_string(out, row.scheme);
+    out += ",\"variant\":";
+    append_json_string(out, row.variant);
+    out += ",\"topology_index\":";
+    append_json_u64(out, static_cast<std::uint64_t>(row.topology_index));
+    out += ",\"replicate\":";
+    append_json_u64(out, static_cast<std::uint64_t>(row.replicate));
+    out += ",\"topology\":";
+    append_json_string(out, row.topology);
+    out += ",\"seed\":";
+    append_json_u64(out, row.seed);
+    out += ",\"aggregate_mbps\":";
+    append_json_number(out, row.aggregate_mbps);
+    out += ",\"flows\":[";
+    bool first_flow = true;
+    for (const auto& f : row.flows) {
+      if (!first_flow) out += ',';
+      first_flow = false;
+      out += "{\"src\":";
+      append_json_u64(out, f.src);
+      out += ",\"dst\":";
+      append_json_u64(out, f.dst);
+      out += ",\"mbps\":";
+      append_json_number(out, f.mbps);
+      out += ",\"unique_packets\":";
+      append_json_u64(out, f.unique_packets);
+      out += ",\"duplicates\":";
+      append_json_u64(out, f.duplicates);
+      out += ",\"vps_sent\":";
+      append_json_u64(out, f.vps_sent);
+      out += ",\"rx_vps_delim\":";
+      append_json_u64(out, f.rx_vps_delim);
+      out += ",\"rx_vps_header\":";
+      append_json_u64(out, f.rx_vps_header);
+      out += ",\"defer_events\":";
+      append_json_u64(out, f.defer_events);
+      out += ",\"retx_timeouts\":";
+      append_json_u64(out, f.retx_timeouts);
+      out += '}';
+    }
+    out += "],\"metrics\":{";
+    bool first_metric = true;
+    for (const auto& [key, value] : row.metrics) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      append_json_string(out, key);
+      out += ':';
+      append_json_number(out, value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cmap::stats

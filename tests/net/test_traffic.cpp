@@ -101,7 +101,9 @@ TEST(SaturatedSource, DistinctPacketIds) {
   auto& rx = w.add(2, {50, 0});
   std::set<std::uint64_t> ids;
   rx.set_rx_handler([&](const mac::Packet& p, const mac::Mac::RxInfo& info) {
-    if (!info.duplicate) EXPECT_TRUE(ids.insert(p.id).second);
+    if (!info.duplicate) {
+      EXPECT_TRUE(ids.insert(p.id).second);
+    }
   });
   SaturatedSource src(tx, 1, 2);
   w.sim.run_until(sim::milliseconds(500));

@@ -1,0 +1,121 @@
+#include "stats/report.h"
+
+#include <gtest/gtest.h>
+
+namespace cmap::stats {
+namespace {
+
+RunRow make_row(const std::string& scheme, const std::string& variant,
+                int topo, double mbps) {
+  RunRow row;
+  row.scenario = "test";
+  row.scheme = scheme;
+  row.variant = variant;
+  row.topology_index = topo;
+  row.topology = "t" + std::to_string(topo);
+  row.seed = 100 + static_cast<std::uint64_t>(topo);
+  row.aggregate_mbps = mbps;
+  FlowRow f;
+  f.src = 1;
+  f.dst = 2;
+  f.mbps = mbps / 2;
+  f.vps_sent = 10;
+  f.rx_vps_delim = 8;
+  row.flows = {f, f};
+  row.metrics = {{"alpha", mbps * 10}};
+  return row;
+}
+
+TEST(SweepReport, GroupsAppearInFirstSeenOrder) {
+  SweepReport rep;
+  rep.add_row(make_row("CS", "", 0, 5.0));
+  rep.add_row(make_row("CMAP", "", 0, 9.0));
+  rep.add_row(make_row("CS", "", 1, 6.0));
+  const auto groups = rep.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].scheme, "CS");
+  EXPECT_EQ(groups[1].scheme, "CMAP");
+  EXPECT_EQ(groups[0].label(), "CS");
+}
+
+TEST(SweepReport, AggregateAndMetricDistributionsFilterByGroup) {
+  SweepReport rep;
+  rep.add_row(make_row("CS", "", 0, 4.0));
+  rep.add_row(make_row("CS", "", 1, 6.0));
+  rep.add_row(make_row("CMAP", "", 0, 10.0));
+  const auto cs = rep.aggregate("CS");
+  EXPECT_EQ(cs.count(), 2u);
+  EXPECT_DOUBLE_EQ(cs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rep.metric("alpha", "CMAP").mean(), 100.0);
+  EXPECT_TRUE(rep.aggregate("CS", "no-such-variant").empty());
+  // Two flows per row, mbps/2 each.
+  EXPECT_EQ(rep.per_flow_mbps("CS").count(), 4u);
+  EXPECT_DOUBLE_EQ(rep.per_flow_mbps("CMAP").mean(), 5.0);
+}
+
+TEST(SweepReport, VariantsSeparateGroups) {
+  SweepReport rep;
+  rep.add_row(make_row("CMAP", "win=1", 0, 5.0));
+  rep.add_row(make_row("CMAP", "win=8", 0, 9.0));
+  EXPECT_EQ(rep.groups().size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.aggregate("CMAP", "win=1").mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rep.aggregate("CMAP", "win=8").mean(), 9.0);
+  EXPECT_EQ(rep.groups()[1].label(), "CMAP win=8");
+}
+
+TEST(SweepReport, FindLocatesCells) {
+  SweepReport rep;
+  rep.add_row(make_row("CS", "", 0, 4.0));
+  rep.add_row(make_row("CS", "", 1, 6.0));
+  const RunRow* row = rep.find("CS", 1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->aggregate_mbps, 6.0);
+  EXPECT_EQ(rep.find("CS", 2), nullptr);
+  EXPECT_EQ(rep.find("CMAP", 0), nullptr);
+}
+
+TEST(SweepReport, AggregatesOfPreservesRowOrder) {
+  SweepReport rep;
+  rep.add_row(make_row("CS", "", 0, 4.0));
+  rep.add_row(make_row("CS", "", 1, 6.0));
+  rep.add_row(make_row("CS", "", 2, 5.0));
+  const auto v = rep.aggregates_of("CS");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(SweepReport, RunRowMetricLookup) {
+  const RunRow row = make_row("CS", "", 0, 3.0);
+  EXPECT_DOUBLE_EQ(row.metric("alpha"), 30.0);
+  EXPECT_DOUBLE_EQ(row.metric("missing", -1.0), -1.0);
+}
+
+TEST(SweepReport, JsonIsWellFormedAndStable) {
+  SweepReport rep;
+  rep.add_row(make_row("CS", "", 0, 4.5));
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"scheme\":\"CS\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate_mbps\":4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":45"), std::string::npos);
+  EXPECT_NE(json.find("\"vps_sent\":10"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Identical content emits identical bytes.
+  SweepReport rep2;
+  rep2.add_row(make_row("CS", "", 0, 4.5));
+  EXPECT_EQ(json, rep2.to_json());
+}
+
+TEST(SweepReport, JsonEscapesStrings) {
+  SweepReport rep;
+  RunRow row = make_row("CS", "", 0, 1.0);
+  row.topology = "quote\" backslash\\ tab\t";
+  rep.add_row(row);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ tab\\t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmap::stats
