@@ -1,0 +1,113 @@
+// Dense-grid stress bench: hundreds of nodes, a quarter of them saturating
+// flows concurrently — the workload the PHY fast path (link-gain cache,
+// reachability culling, swept-interval interference) exists for. Doubles
+// as the CI benchmark-regression probe: runtime measurements are appended
+// to the report as metric rows, so the CMAP_BENCH_JSON artifact carries
+// both throughput results and runtime for tools/check_bench_regression.py.
+//
+// The gated measurements use process CPU time, not wall clock: the probe
+// runs single-threaded (CI pins CMAP_BENCH_THREADS=1), so CPU time is the
+// same quantity minus the scheduler noise of shared runners that would
+// otherwise flake a 25% gate.
+//
+// Extra knob: CMAP_BENCH_NODES (default 200) sizes the testbed.
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+
+#include "bench_main.h"
+
+using namespace cmap;
+using namespace cmap::bench;
+
+namespace {
+
+double cpu_ms_now() {
+  return static_cast<double>(std::clock()) * 1000.0 / CLOCKS_PER_SEC;
+}
+
+// A fixed CPU-bound workload whose runtime calibrates the machine: the
+// regression gate compares runtime *normalized by this*, so a slower or
+// faster CI runner does not masquerade as a code regression. Deliberately
+// self-contained FP arithmetic (exp/log/sqrt, the simulator's instruction
+// mix) that calls NO project code — if it exercised the code under test, a
+// real optimization or regression there would skew the normalizer and the
+// gate would misread it. Best (min) of several ~100 ms samples, so a
+// scheduler deschedule during one sample cannot skew the result.
+double calibration_ms() {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double t0 = cpu_ms_now();
+    double sink = 0.0;
+    double x = 1.000001;
+    for (int i = 0; i < 10'000'000; ++i) {
+      sink += std::sqrt(std::exp(std::log(x) * 0.5));
+      x += 1e-9;
+    }
+    // Fold the sink into the timing via a volatile store so the loop
+    // cannot be optimized away.
+    volatile double guard = sink;
+    (void)guard;
+    best = std::min(best, cpu_ms_now() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  Scale s = load_scale();
+  if (std::getenv("CMAP_BENCH_SECONDS") == nullptr && !s.full) {
+    s.duration = sim::seconds(5);  // dense runs are expensive per sim-second
+    s.warmup = sim::seconds(2);
+  }
+  if (std::getenv("CMAP_BENCH_CONFIGS") == nullptr && !s.full) {
+    s.configs = 4;
+  }
+  const int nodes = static_cast<int>(env_long("CMAP_BENCH_NODES", 200));
+  print_header("Dense grid: PHY fast-path stress",
+               "no paper claim — scaling workload + CI regression probe", s);
+  std::printf("nodes: %d (CMAP_BENCH_NODES)\n", nodes);
+
+  double t0 = cpu_ms_now();
+  testbed::TestbedConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = s.seed;
+  testbed::Testbed tb(cfg);
+  const double build_ms = cpu_ms_now() - t0;
+  std::printf("testbed measurement pass: %.0f CPU-ms, mean degree %.1f\n",
+              build_ms, tb.mean_degree());
+
+  auto sweep = make_sweep(s, "dense_grid_25",
+                          {testbed::Scheme::kCsma, testbed::Scheme::kCmap});
+  t0 = cpu_ms_now();
+  auto report = make_runner(s).run(sweep, tb);
+  const double sweep_ms = cpu_ms_now() - t0;
+  std::printf("sweep: %zu runs in %.0f CPU-ms\n", report.rows().size(),
+              sweep_ms);
+
+  report.print_table();
+
+  // Timing rows for the regression gate; the "timing" scheme name keeps
+  // them out of the throughput groups above.
+  const double calib = calibration_ms();
+  stats::RunRow timing;
+  timing.scenario = "dense_grid_bench";
+  timing.scheme = "timing";
+  timing.topology = "cpu-time";
+  // The knob values ride along so the regression gate can reject a
+  // comparison whose workload silently drifted from the baseline's.
+  timing.metrics = {{"nodes", static_cast<double>(nodes)},
+                    {"configs", static_cast<double>(s.configs)},
+                    {"run_seconds", sim::to_seconds(s.duration)},
+                    {"threads", static_cast<double>(make_runner(s).threads())},
+                    {"testbed_build_cpu_ms", build_ms},
+                    {"sweep_cpu_ms", sweep_ms},
+                    {"calibration_ms", calib}};
+  report.add_row(std::move(timing));
+  std::printf("calibration: %.0f CPU-ms (normalizes the regression gate)\n",
+              calib);
+
+  maybe_write_json(report);
+  return 0;
+}

@@ -1,12 +1,21 @@
-// Micro-benchmarks of the hot paths: event queue churn, SINR chunking,
-// error-model evaluation, defer-table lookups, and full testbed
-// construction (the measurement pass dominates experiment startup).
+// Micro-benchmarks of the hot paths: event queue churn, SINR chunking
+// (swept vs brute-force reference), transmit fan-out (cached/culled vs
+// brute-force reference), error-model evaluation, defer-table lookups, and
+// full testbed construction (the measurement pass dominates experiment
+// startup).
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
 
 #include "core/defer_table.h"
 #include "phy/error_model.h"
 #include "phy/interference.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
 #include "phy/units.h"
+#include "phy/wifi_rate.h"
 #include "scenario/sweep.h"
 #include "sim/simulator.h"
 #include "testbed/testbed.h"
@@ -52,36 +61,133 @@ void BM_NistErrorModel(benchmark::State& state) {
 }
 BENCHMARK(BM_NistErrorModel);
 
-void BM_InterferenceEvaluate(benchmark::State& state) {
-  const int n_interferers = static_cast<int>(state.range(0));
+// Tracker with one full-window target plus n interferers whose starts are
+// spread across the window, so every one of them overlaps it (the dense-
+// network shape the swept evaluator is built for).
+phy::InterferenceTracker make_loaded_tracker(int n_interferers) {
   phy::InterferenceTracker t(phy::dbm_to_mw(-94.0));
-  phy::NistErrorModel model;
   auto mk = [](std::uint64_t id, std::size_t bytes) {
     phy::Frame f;
     f.id = id;
     f.segments = {{phy::SegmentKind::kWhole, bytes}};
     return std::make_shared<const phy::Frame>(std::move(f));
   };
+  constexpr sim::Time kWindow = 1'892'000;
   phy::Signal target;
   target.frame = mk(1, 1400);
   target.power_mw = phy::dbm_to_mw(-70.0);
   target.start = 0;
-  target.end = 1'892'000;
+  target.end = kWindow;
   t.add(target);
   for (int i = 0; i < n_interferers; ++i) {
     phy::Signal s;
-    s.frame = mk(2 + i, 1400);
+    s.frame = mk(2 + static_cast<std::uint64_t>(i), 1400);
     s.power_mw = phy::dbm_to_mw(-85.0);
-    s.start = 100'000 * (i + 1);
+    s.start = kWindow * i / (n_interferers + 1);
     s.end = s.start + 900'000;
     t.add(s);
   }
+  return t;
+}
+
+// The threshold model is O(1) per chunk, so these two benchmarks isolate
+// the interval partitioning + interference summation that the sweep
+// rewrite changed; per-chunk error-model cost is measured separately by
+// BM_NistErrorModel.
+void BM_InterferenceEvaluate(benchmark::State& state) {
+  phy::InterferenceTracker t =
+      make_loaded_tracker(static_cast<int>(state.range(0)));
+  phy::ThresholdErrorModel model(3.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(t.evaluate(1, 0, 1'892'000, 11200,
                                         phy::WifiRate::k6Mbps, model, 1.0));
   }
 }
-BENCHMARK(BM_InterferenceEvaluate)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_InterferenceEvaluate)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The pre-optimization O(sub-intervals x S) rescan, for before/after
+// comparison against BM_InterferenceEvaluate at the same load.
+void BM_InterferenceEvaluateReference(benchmark::State& state) {
+  phy::InterferenceTracker t =
+      make_loaded_tracker(static_cast<int>(state.range(0)));
+  phy::ThresholdErrorModel model(3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::evaluate_reference(
+        t, 1, 0, 1'892'000, 11200, phy::WifiRate::k6Mbps, model, 1.0));
+  }
+}
+BENCHMARK(BM_InterferenceEvaluateReference)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+// N radios on a grid under log-distance-with-shadowing propagation; one
+// center node transmits. Fast = gain cache + reachability culling; brute =
+// per-receiver propagation recomputation and full fan-out (the
+// pre-optimization path). Deliveries are drained outside the timed region,
+// so the measurement isolates Medium::transmit itself.
+struct FanoutWorld {
+  sim::Simulator sim;
+  phy::Medium medium;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+
+  static phy::MediumConfig medium_config(bool fast) {
+    phy::MediumConfig m;
+    m.enable_gain_cache = fast;
+    m.enable_culling = fast;
+    return m;
+  }
+
+  FanoutWorld(int n, bool fast)
+      : medium(sim, std::make_shared<phy::LogDistanceShadowing>(),
+               medium_config(fast), sim::Rng(7)) {
+    const auto model = std::make_shared<phy::NistErrorModel>();
+    const int side =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+    constexpr double kSpacing = 30.0;  // meters; keeps reachability sparse
+    radios.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const phy::Position pos{(i % side) * kSpacing, (i / side) * kSpacing};
+      radios.push_back(std::make_unique<phy::Radio>(
+          sim, medium, static_cast<phy::NodeId>(i), pos, phy::RadioConfig{},
+          model, sim::Rng(1000 + static_cast<std::uint64_t>(i))));
+    }
+  }
+};
+
+void run_transmit_fanout(benchmark::State& state, bool fast) {
+  const int n = static_cast<int>(state.range(0));
+  FanoutWorld w(n, fast);
+  phy::Radio& src = *w.radios[static_cast<std::size_t>(n) / 2];
+  int batch = 0;
+  for (auto _ : state) {
+    phy::Frame f;
+    f.id = w.medium.next_frame_id();
+    f.tx_node = src.id();
+    f.segments = {{phy::SegmentKind::kWhole, 1400}};
+    f.duration = phy::frame_airtime(phy::WifiRate::k6Mbps, 1400);
+    w.medium.transmit(src, std::make_shared<const phy::Frame>(std::move(f)));
+    if (++batch == 256) {
+      state.PauseTiming();
+      w.sim.run();  // drain deliveries untimed
+      batch = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.counters["reach"] =
+      static_cast<double>(w.medium.fanout_candidates(src.id()));
+}
+
+void BM_TransmitFanoutFast(benchmark::State& state) {
+  run_transmit_fanout(state, true);
+}
+void BM_TransmitFanoutBrute(benchmark::State& state) {
+  run_transmit_fanout(state, false);
+}
+BENCHMARK(BM_TransmitFanoutFast)->Arg(50)->Arg(200)->Arg(400);
+BENCHMARK(BM_TransmitFanoutBrute)->Arg(50)->Arg(200)->Arg(400);
 
 void BM_DeferTableLookup(benchmark::State& state) {
   const int n_entries = static_cast<int>(state.range(0));

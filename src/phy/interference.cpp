@@ -5,13 +5,25 @@
 #include "sim/assert.h"
 
 namespace cmap::phy {
+namespace {
+// Below this size the compaction scan is cheaper than the bookkeeping to
+// avoid it; prune() never compacts a smaller vector.
+constexpr std::size_t kMinCompactSize = 16;
+}  // namespace
 
 void InterferenceTracker::add(Signal signal) {
   signals_.push_back(std::move(signal));
 }
 
 void InterferenceTracker::prune(sim::Time horizon) {
-  std::erase_if(signals_, [horizon](const Signal& s) { return s.end < horizon; });
+  prune_horizon_ = std::max(prune_horizon_, horizon);
+  if (signals_.size() < std::max(compact_at_, kMinCompactSize)) return;
+  std::erase_if(signals_, [this](const Signal& s) {
+    return s.end < prune_horizon_;
+  });
+  // Require at least one live signal's worth of growth (and at least the
+  // minimum) before scanning again: amortized O(1) per add().
+  compact_at_ = 2 * signals_.size();
 }
 
 const Signal* InterferenceTracker::find(std::uint64_t frame_id) const {
@@ -31,33 +43,46 @@ ChunkOutcome InterferenceTracker::evaluate(std::uint64_t target_frame_id,
   CMAP_ASSERT(target != nullptr, "evaluating unknown frame");
   if (end <= begin) return out;
 
-  // Collect change points: window edges plus starts/ends of overlapping
-  // foreign signals.
-  std::vector<sim::Time> points;
-  points.push_back(begin);
-  points.push_back(end);
+  // One +power/-power edge per overlapping foreign signal boundary, clipped
+  // to the window; signals already active at `begin` fold into the base
+  // sum. Frameless signals (raw energy) count as interference.
+  edges_.clear();
+  double interference = 0.0;
   for (const auto& s : signals_) {
-    if (s.frame->id == target_frame_id) continue;
-    if (s.start > begin && s.start < end) points.push_back(s.start);
-    if (s.end > begin && s.end < end) points.push_back(s.end);
+    if (s.frame && s.frame->id == target_frame_id) continue;
+    if (s.end <= begin || s.start >= end) continue;
+    if (s.start <= begin) {
+      interference += s.power_mw;
+    } else {
+      edges_.push_back({s.start, s.power_mw});
+    }
+    if (s.end < end) edges_.push_back({s.end, -s.power_mw});
   }
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
+  // The delta tie-break pins the accumulation order at shared change
+  // points, keeping results independent of the sort implementation.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.t != b.t ? a.t < b.t : a.delta < b.delta;
+  });
 
   const double window = static_cast<double>(end - begin);
-  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
-    const sim::Time t0 = points[i];
-    const sim::Time t1 = points[i + 1];
-    double interference = 0.0;
-    for (const auto& s : signals_) {
-      if (s.frame->id == target_frame_id) continue;
-      if (s.start < t1 && s.end > t0) interference += s.power_mw;
+  sim::Time t0 = begin;
+  std::size_t i = 0;
+  for (;;) {
+    const sim::Time t1 = i < edges_.size() ? edges_[i].t : end;
+    if (t1 > t0) {
+      // The +p/-p accumulation can leave a negative rounding residual the
+      // per-interval rescan never produces; clamp before the division.
+      const double sinr =
+          target->power_mw / (noise_mw_ + std::max(interference, 0.0));
+      out.min_sinr = std::min(out.min_sinr, sinr);
+      const double chunk_bits = bits * static_cast<double>(t1 - t0) / window;
+      out.success_prob *=
+          model.chunk_success(sinr / sinr_scale, chunk_bits, rate);
+      t0 = t1;
     }
-    const double sinr = target->power_mw / (noise_mw_ + interference);
-    out.min_sinr = std::min(out.min_sinr, sinr);
-    const double chunk_bits = bits * static_cast<double>(t1 - t0) / window;
-    out.success_prob *=
-        model.chunk_success(sinr / sinr_scale, chunk_bits, rate);
+    if (i >= edges_.size()) break;
+    interference += edges_[i].delta;
+    ++i;
   }
   return out;
 }
@@ -86,6 +111,51 @@ double InterferenceTracker::max_power_mw(sim::Time t) const {
     if (s.start <= t && s.end > t) best = std::max(best, s.power_mw);
   }
   return best;
+}
+
+ChunkOutcome evaluate_reference(const InterferenceTracker& tracker,
+                                std::uint64_t target_frame_id, sim::Time begin,
+                                sim::Time end, double bits, WifiRate rate,
+                                const ErrorModel& model, double sinr_scale) {
+  ChunkOutcome out;
+  const std::vector<Signal>& signals = tracker.signals();
+  const Signal* target = nullptr;
+  for (const auto& s : signals) {
+    if (s.frame && s.frame->id == target_frame_id) {
+      target = &s;
+      break;
+    }
+  }
+  CMAP_ASSERT(target != nullptr, "evaluating unknown frame");
+  if (end <= begin) return out;
+
+  std::vector<sim::Time> points;
+  points.push_back(begin);
+  points.push_back(end);
+  for (const auto& s : signals) {
+    if (s.frame && s.frame->id == target_frame_id) continue;
+    if (s.start > begin && s.start < end) points.push_back(s.start);
+    if (s.end > begin && s.end < end) points.push_back(s.end);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  const double window = static_cast<double>(end - begin);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const sim::Time t0 = points[i];
+    const sim::Time t1 = points[i + 1];
+    double interference = 0.0;
+    for (const auto& s : signals) {
+      if (s.frame && s.frame->id == target_frame_id) continue;
+      if (s.start < t1 && s.end > t0) interference += s.power_mw;
+    }
+    const double sinr = target->power_mw / (tracker.noise_mw() + interference);
+    out.min_sinr = std::min(out.min_sinr, sinr);
+    const double chunk_bits = bits * static_cast<double>(t1 - t0) / window;
+    out.success_prob *=
+        model.chunk_success(sinr / sinr_scale, chunk_bits, rate);
+  }
+  return out;
 }
 
 }  // namespace cmap::phy

@@ -2,6 +2,12 @@
 // a reception window is partitioned at interference change-points, each
 // sub-interval contributes (1 - BER)^bits, and the product is the success
 // probability of that window (the ns-3 InterferenceHelper approach).
+//
+// evaluate() runs as a single event-sweep over the sorted start/end edges
+// of overlapping signals, maintaining a running interference sum — O(S log
+// S) in the number of tracked signals instead of the O(sub-intervals x S)
+// rescan of the original implementation (kept as evaluate_reference() for
+// validation and benchmarking).
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,9 @@
 
 namespace cmap::phy {
 
-/// One signal as seen at one receiver.
+/// One signal as seen at one receiver. `frame` may be null for raw energy
+/// (e.g. injected noise); such signals interfere but can never be a
+/// decoding target.
 struct Signal {
   std::shared_ptr<const Frame> frame;
   double power_mw = 0.0;  // received power (after fading) at this radio
@@ -35,7 +43,12 @@ class InterferenceTracker {
   void add(Signal signal);
 
   /// Drop signals that ended before `horizon` (they can no longer overlap
-  /// any evaluation window).
+  /// any evaluation window). Amortized: the horizon is recorded on every
+  /// call, but the O(S) compaction only runs once the live vector has
+  /// grown past a threshold that doubles with the surviving size, so a
+  /// caller pruning on every delivery pays O(1) amortized. Expired signals
+  /// may therefore linger in signals(); every query is time-windowed, so
+  /// results are unaffected.
   void prune(sim::Time horizon);
 
   /// Success probability and worst SINR for decoding `bits` of frame
@@ -64,6 +77,25 @@ class InterferenceTracker {
 
   std::vector<Signal> signals_;
   double noise_mw_;
+  sim::Time prune_horizon_ = 0;
+  std::size_t compact_at_ = 0;
+  // Sweep-edge scratch, reused across evaluate() calls to avoid a per-call
+  // allocation. A tracker belongs to one radio in one (single-threaded)
+  // simulation, so the mutable buffer is never contended.
+  struct Edge {
+    sim::Time t;
+    double delta;
+  };
+  mutable std::vector<Edge> edges_;
 };
+
+/// The original O(sub-intervals x S) implementation of evaluate(), over the
+/// same tracked signal set. Retained as the validation oracle for the swept
+/// evaluator (unit tests compare the two on random signal sets) and as the
+/// "before" side of the bench_micro comparison.
+ChunkOutcome evaluate_reference(const InterferenceTracker& tracker,
+                                std::uint64_t target_frame_id, sim::Time begin,
+                                sim::Time end, double bits, WifiRate rate,
+                                const ErrorModel& model, double sinr_scale);
 
 }  // namespace cmap::phy

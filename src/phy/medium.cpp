@@ -1,5 +1,7 @@
 #include "phy/medium.h"
 
+#include <algorithm>
+
 #include "phy/radio.h"
 #include "phy/units.h"
 #include "sim/assert.h"
@@ -7,7 +9,14 @@
 namespace cmap::phy {
 namespace {
 constexpr double kSpeedOfLight = 2.99792458e8;
-}
+// Sentinel gain for the (i, i) self pair; never clears any floor.
+constexpr double kSelfGainDbm = -1e30;
+// The NodeId -> index map is a flat vector sized to the largest attached
+// id (O(1) lookup); cap it so a stray sparse id fails loudly instead of
+// allocating gigabytes. Matches the net layer's packet-id packing bound
+// (traffic.cpp packs src ids into 20 bits). 1M ids = 4 MB worst case.
+constexpr phy::NodeId kMaxRadioId = 1u << 20;
+}  // namespace
 
 Medium::Medium(sim::Simulator& simulator,
                std::shared_ptr<const PropagationModel> propagation,
@@ -17,49 +26,165 @@ Medium::Medium(sim::Simulator& simulator,
       config_(config),
       rng_(rng) {}
 
+double Medium::cull_floor_dbm() const {
+  const double guard = config_.fading_sigma_db > 0.0
+                           ? config_.cull_guard_sigmas * config_.fading_sigma_db
+                           : 0.0;
+  return config_.delivery_floor_dbm - guard;
+}
+
+Medium::Link Medium::compute_link(const Radio& src, const Radio& dst) const {
+  Link link;
+  link.gain_dbm =
+      propagation_->rx_power_dbm(src.config().tx_power_dbm, src.id(), dst.id(),
+                                 src.position(), dst.position());
+  const double d = distance(src.position(), dst.position());
+  link.delay = static_cast<sim::Time>(d / kSpeedOfLight * 1e9);
+  return link;
+}
+
+std::uint32_t Medium::index_of(NodeId id) const {
+  if (static_cast<std::size_t>(id) >= index_by_id_.size()) return kNoIndex;
+  return index_by_id_[id];
+}
+
 void Medium::attach(Radio* radio) {
   CMAP_ASSERT(radio != nullptr, "attach null radio");
+  CMAP_ASSERT(radio->id() != kBroadcastId, "radio with broadcast id");
+  CMAP_ASSERT(radio->id() < kMaxRadioId,
+              "radio ids must be small/dense (id index is a flat vector)");
+  if (static_cast<std::size_t>(radio->id()) >= index_by_id_.size()) {
+    index_by_id_.resize(radio->id() + 1, kNoIndex);
+  }
+  CMAP_ASSERT(index_by_id_[radio->id()] == kNoIndex, "duplicate radio id");
+  const auto idx = static_cast<std::uint32_t>(radios_.size());
+  index_by_id_[radio->id()] = idx;
   radios_.push_back(radio);
+
+  if (!config_.enable_gain_cache) return;
+  // Extend every existing source's row (and reachability) with the new
+  // radio, then build the new radio's own row against everyone.
+  const double floor = cull_floor_dbm();
+  for (std::uint32_t i = 0; i < idx; ++i) {
+    const Link link = compute_link(*radios_[i], *radio);
+    links_[i].push_back(link);
+    if (link.gain_dbm >= floor) reachable_[i].push_back(idx);
+  }
+  std::vector<Link> row;
+  row.reserve(radios_.size());
+  for (std::uint32_t j = 0; j < idx; ++j) {
+    row.push_back(compute_link(*radio, *radios_[j]));
+  }
+  row.push_back(Link{kSelfGainDbm, 0});
+  links_.push_back(std::move(row));
+  reachable_.emplace_back();
+  rebuild_reachable(idx);
+}
+
+void Medium::rebuild_reachable(std::uint32_t src_idx) {
+  const double floor = cull_floor_dbm();
+  auto& set = reachable_[src_idx];
+  set.clear();
+  const auto& row = links_[src_idx];
+  for (std::uint32_t j = 0; j < row.size(); ++j) {
+    if (j != src_idx && row[j].gain_dbm >= floor) set.push_back(j);
+  }
+}
+
+void Medium::on_position_changed(Radio& radio) {
+  if (!config_.enable_gain_cache) return;
+  const std::uint32_t idx = index_of(radio.id());
+  CMAP_ASSERT(idx != kNoIndex, "position change for unattached radio");
+  const double floor = cull_floor_dbm();
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    if (i == idx) continue;
+    links_[idx][i] = compute_link(radio, *radios_[i]);
+    const Link inbound = compute_link(*radios_[i], radio);
+    links_[i][idx] = inbound;
+    // Splice `idx` in or out of source i's sorted reachability set.
+    auto& set = reachable_[i];
+    const auto it = std::lower_bound(set.begin(), set.end(), idx);
+    const bool present = it != set.end() && *it == idx;
+    const bool should = inbound.gain_dbm >= floor;
+    if (should && !present) {
+      set.insert(it, idx);
+    } else if (!should && present) {
+      set.erase(it);
+    }
+  }
+  rebuild_reachable(idx);
 }
 
 Radio* Medium::radio(NodeId id) const {
-  for (Radio* r : radios_) {
-    if (r->id() == id) return r;
+  const std::uint32_t idx = index_of(id);
+  return idx == kNoIndex ? nullptr : radios_[idx];
+}
+
+std::size_t Medium::fanout_candidates(NodeId source) const {
+  const std::uint32_t idx = index_of(source);
+  CMAP_ASSERT(idx != kNoIndex, "unknown radio id");
+  if (config_.enable_gain_cache && config_.enable_culling) {
+    return reachable_[idx].size();
   }
-  return nullptr;
+  return radios_.size() - 1;
 }
 
 double Medium::mean_rx_power_dbm(NodeId from, NodeId to) const {
   const Radio* src = radio(from);
   const Radio* dst = radio(to);
   CMAP_ASSERT(src != nullptr && dst != nullptr, "unknown radio id");
+  if (config_.enable_gain_cache && from != to) {
+    return links_[index_of(from)][index_of(to)].gain_dbm;
+  }
   return propagation_->rx_power_dbm(src->config().tx_power_dbm, from, to,
                                     src->position(), dst->position());
 }
 
+void Medium::deliver_one(Radio& target, const Link& link,
+                         const std::shared_ptr<const Frame>& frame,
+                         sim::Time now) {
+  double power_dbm = link.gain_dbm;
+  if (config_.fading_sigma_db > 0.0) {
+    // Keyed on (frame, receiver) so the draw is independent of how many
+    // other receivers were considered — the property that lets culling
+    // leave every surviving delivery bit-identical.
+    power_dbm +=
+        rng_.substream(frame->id, target.id()).normal(0.0,
+                                                      config_.fading_sigma_db);
+  }
+  if (power_dbm < config_.delivery_floor_dbm) return;
+
+  Signal sig;
+  sig.frame = frame;
+  sig.power_mw = dbm_to_mw(power_dbm);
+  sig.start = now + (config_.enable_propagation_delay ? link.delay : 0);
+  sig.end = sig.start + frame->duration;
+  Radio* r = &target;
+  sim_.at(sig.start, [r, sig] { r->deliver(sig); });
+}
+
 void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
   const sim::Time now = sim_.now();
+  if (config_.enable_gain_cache) {
+    const std::uint32_t si = index_of(source.id());
+    CMAP_ASSERT(si != kNoIndex, "transmit from unattached radio");
+    const auto& row = links_[si];
+    if (config_.enable_culling) {
+      for (const std::uint32_t di : reachable_[si]) {
+        deliver_one(*radios_[di], row[di], frame, now);
+      }
+    } else {
+      for (std::uint32_t di = 0; di < row.size(); ++di) {
+        if (di == si) continue;
+        deliver_one(*radios_[di], row[di], frame, now);
+      }
+    }
+    return;
+  }
+  // Reference path: re-derive propagation per receiver on every frame.
   for (Radio* r : radios_) {
     if (r == &source) continue;
-    double power_dbm = propagation_->rx_power_dbm(
-        source.config().tx_power_dbm, source.id(), r->id(), source.position(),
-        r->position());
-    if (config_.fading_sigma_db > 0.0) {
-      power_dbm += rng_.normal(0.0, config_.fading_sigma_db);
-    }
-    if (power_dbm < config_.delivery_floor_dbm) continue;
-
-    sim::Time delay = 0;
-    if (config_.enable_propagation_delay) {
-      const double d = distance(source.position(), r->position());
-      delay = static_cast<sim::Time>(d / kSpeedOfLight * 1e9);
-    }
-    Signal sig;
-    sig.frame = frame;
-    sig.power_mw = dbm_to_mw(power_dbm);
-    sig.start = now + delay;
-    sig.end = sig.start + frame->duration;
-    sim_.at(sig.start, [r, sig] { r->deliver(sig); });
+    deliver_one(*r, compute_link(source, *r), frame, now);
   }
 }
 

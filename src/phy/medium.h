@@ -1,6 +1,18 @@
 // The shared wireless medium: fans a transmission out to every attached
-// radio whose mean received power clears the delivery floor, applying
+// radio whose received power clears the delivery floor, applying
 // propagation loss, per-delivery fading and propagation delay.
+//
+// Fast path (on by default): mean link gains and propagation delays are
+// cached per ordered radio pair at attach time (invalidated through
+// Radio::set_position), and each source keeps a *reachability set* of the
+// radios whose mean gain could plausibly clear the delivery floor, so
+// transmit() iterates only those instead of all N radios. Per-delivery
+// fading is drawn from a substream keyed on (frame id, receiver id) rather
+// than a shared sequential stream, so culling a hopeless receiver cannot
+// perturb any other delivery's randomness — with fading disabled the fast
+// path is exactly the brute-force path; with fading enabled it may differ
+// only when a fade exceeds the guard band (cull_guard_sigmas sigmas,
+// probability ~1e-9 at the default 6).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +38,19 @@ struct MediumConfig {
   // in (0.1, 1)" middle class.
   double fading_sigma_db = 2.0;
   bool enable_propagation_delay = true;
+  // ---- Fast-path knobs ----
+  // Precompute mean gain + propagation delay per ordered attached pair.
+  // Off: every transmit re-queries the PropagationModel (the reference
+  // path the golden tests compare against).
+  bool enable_gain_cache = true;
+  // Skip receivers whose cached mean gain is below delivery_floor_dbm
+  // minus the fading guard band. Requires the gain cache; ignored (full
+  // fan-out) when enable_gain_cache is off.
+  bool enable_culling = true;
+  // Guard band in units of fading_sigma_db: a culled receiver would need a
+  // fade this many sigmas above the mean to have cleared the floor. With
+  // fading_sigma_db == 0 culling is exact.
+  double cull_guard_sigmas = 6.0;
 };
 
 class Medium {
@@ -34,8 +59,15 @@ class Medium {
          std::shared_ptr<const PropagationModel> propagation,
          MediumConfig config, sim::Rng rng);
 
-  /// Register a radio (called by the Radio constructor).
+  /// Register a radio (called by the Radio constructor). Ids must be
+  /// unique per medium and small/dense (< 2^20, the same bound the net
+  /// layer's packet-id packing imposes): the id index is a flat vector
+  /// sized to the largest attached id.
   void attach(Radio* radio);
+
+  /// Re-cache `radio`'s link gains and reachability after a position
+  /// change (called by Radio::set_position).
+  void on_position_changed(Radio& radio);
 
   /// Fan `frame` out from `source` to all other attached radios.
   void transmit(Radio& source, std::shared_ptr<const Frame> frame);
@@ -52,12 +84,33 @@ class Medium {
   const std::vector<Radio*>& radios() const { return radios_; }
   Radio* radio(NodeId id) const;
 
+  /// Number of receivers transmit() would consider for `source` — the
+  /// reachability-set size under culling, else every other radio.
+  /// Observability for tests and benchmarks.
+  std::size_t fanout_candidates(NodeId source) const;
+
  private:
+  struct Link {
+    double gain_dbm = 0.0;
+    sim::Time delay = 0;  // propagation delay, ns
+  };
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  Link compute_link(const Radio& src, const Radio& dst) const;
+  void deliver_one(Radio& target, const Link& link,
+                   const std::shared_ptr<const Frame>& frame, sim::Time now);
+  void rebuild_reachable(std::uint32_t src_idx);
+  std::uint32_t index_of(NodeId id) const;
+  double cull_floor_dbm() const;
+
   sim::Simulator& sim_;
   std::shared_ptr<const PropagationModel> propagation_;
   MediumConfig config_;
-  sim::Rng rng_;
+  sim::Rng rng_;  // seed material for per-(frame, receiver) fading draws
   std::vector<Radio*> radios_;
+  std::vector<std::uint32_t> index_by_id_;       // NodeId -> attach index
+  std::vector<std::vector<Link>> links_;         // [src idx][dst idx]
+  std::vector<std::vector<std::uint32_t>> reachable_;  // sorted dst indices
   std::uint64_t frame_id_ = 0;
 };
 

@@ -35,9 +35,14 @@ Radio::Radio(sim::Simulator& simulator, Medium& medium, NodeId id,
 
 const Signal* Radio::find_signal(std::uint64_t frame_id) const {
   for (const auto& s : tracker_.signals()) {
-    if (s.frame->id == frame_id) return &s;
+    if (s.frame && s.frame->id == frame_id) return &s;
   }
   return nullptr;
+}
+
+void Radio::set_position(Position pos) {
+  position_ = pos;
+  medium_.on_position_changed(*this);
 }
 
 void Radio::transmit(Frame frame) {
@@ -70,6 +75,9 @@ void Radio::finish_tx() {
 }
 
 void Radio::deliver(Signal signal) {
+  // Frameless (raw-energy) signals may live in an InterferenceTracker, but
+  // radio reception is keyed on frame ids throughout.
+  CMAP_ASSERT(signal.frame != nullptr, "radio delivery requires a frame");
   const std::uint64_t fid = signal.frame->id;
   tracker_.prune(sim_.now() - kPruneHorizon);
   tracker_.add(signal);

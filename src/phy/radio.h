@@ -110,7 +110,9 @@ class Radio {
 
   NodeId id() const { return id_; }
   const Position& position() const { return position_; }
-  void set_position(Position pos) { position_ = pos; }
+  /// Move the radio; the medium re-caches this radio's link gains and
+  /// reachability.
+  void set_position(Position pos);
   const RadioConfig& config() const { return config_; }
   const Counters& counters() const { return counters_; }
   const InterferenceTracker& interference() const { return tracker_; }

@@ -422,6 +422,72 @@ Scenario make_mixed_floor() {
   return s;
 }
 
+// ---- NEW (non-paper): dense grid — saturating fan-out at scale ----
+//
+// The PHY fast path's stress workload: a configurable fraction of the
+// testbed's nodes transmit concurrently, each to its best-PRR neighbor.
+// On a large testbed (hundreds of nodes) this keeps most radios busy most
+// of the time, which is exactly the regime where per-transmit propagation
+// recomputation and O(S^2) interference rescans used to dominate.
+
+Scenario make_dense_grid(std::string name, int sender_pct) {
+  Scenario s;
+  s.name = std::move(name);
+  char desc[112];
+  std::snprintf(desc, sizeof(desc),
+                "%d%% of all nodes transmit concurrently, each saturating a "
+                "flow to its best-PRR neighbor (PHY fast-path stress)",
+                sender_pct);
+  s.description = desc;
+  s.topology = [sender_pct](const testbed::Testbed& tb, int count,
+                            sim::Rng& rng) {
+    const int n = tb.size();
+    const int k = std::max(1, n * sender_pct / 100);
+    std::vector<TopologyInstance> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int draw = 0; draw < count; ++draw) {
+      // k distinct senders via a partial Fisher-Yates shuffle.
+      std::vector<phy::NodeId> ids(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+      for (int i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(i, static_cast<std::int64_t>(n) - 1));
+        std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+      }
+      TopologyInstance inst;
+      for (int i = 0; i < k; ++i) {
+        const phy::NodeId src = ids[static_cast<std::size_t>(i)];
+        // Best-PRR receiver; receivers may themselves be senders
+        // (half-duplex contention is part of the workload).
+        phy::NodeId best = src;
+        double best_prr = -1.0;
+        for (phy::NodeId dst = 0; dst < static_cast<phy::NodeId>(n); ++dst) {
+          if (dst == src) continue;
+          const double p = tb.prr(src, dst);
+          if (p > best_prr) {
+            best_prr = p;
+            best = dst;
+          }
+        }
+        if (best == src) continue;
+        inst.flows.push_back({src, best});
+      }
+      if (inst.flows.empty()) continue;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%zu flows / %d nodes",
+                    inst.flows.size(), n);
+      inst.label = buf;
+      out.push_back(std::move(inst));
+    }
+    return out;
+  };
+  // Dense runs are expensive per simulated second; default to a short
+  // window (sweeps override as usual).
+  s.defaults.duration = sim::seconds(10);
+  s.defaults.warmup = sim::seconds(4);
+  return s;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -450,6 +516,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_dest_queue_ablation());
   registry.add(make_chain());
   registry.add(make_mixed_floor());
+  for (int pct : {10, 25, 50}) {
+    registry.add(make_dense_grid("dense_grid_" + std::to_string(pct), pct));
+  }
 }
 
 }  // namespace cmap::scenario

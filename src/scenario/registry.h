@@ -53,7 +53,10 @@ class ScenarioRegistry {
 ///   chain                — NEW: alternating hops of a random multi-hop
 ///       chain transmit concurrently;
 ///   mixed_floor          — NEW: one exposed and one hidden pair share the
-///       floor, testing per-pair discrimination.
+///       floor, testing per-pair discrimination;
+///   dense_grid_10/25/50  — NEW: that percentage of all nodes transmit
+///       concurrently to their best-PRR neighbors (the PHY fast-path
+///       stress workload; pair with a large TestbedConfig::num_nodes).
 void register_builtin_scenarios(ScenarioRegistry& registry);
 
 }  // namespace cmap::scenario

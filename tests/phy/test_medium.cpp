@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "phy_test_util.h"
 #include "sim/time.h"
 
@@ -87,6 +89,77 @@ TEST(Medium, RadioLookupById) {
   EXPECT_EQ(w.medium().radio(7)->id(), 7u);
   EXPECT_EQ(w.medium().radio(9)->id(), 9u);
   EXPECT_EQ(w.medium().radio(42), nullptr);
+}
+
+TEST(Medium, GainCacheMatchesPropagationModel) {
+  World w(nist());  // gain cache on by default
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& b = w.add_radio(2, {120, 35});
+  const double direct = w.medium().propagation().rx_power_dbm(
+      a.config().tx_power_dbm, 1, 2, a.position(), b.position());
+  EXPECT_DOUBLE_EQ(w.medium().mean_rx_power_dbm(1, 2), direct);
+}
+
+TEST(Medium, GainCacheInvalidatedOnPositionChange) {
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  Radio& b = w.add_radio(2, {100, 0});
+  const double before = w.medium().mean_rx_power_dbm(1, 2);
+  b.set_position({10, 0});
+  const double direct = w.medium().propagation().rx_power_dbm(
+      a.config().tx_power_dbm, 1, 2, a.position(), b.position());
+  EXPECT_DOUBLE_EQ(w.medium().mean_rx_power_dbm(1, 2), direct);
+  EXPECT_GT(w.medium().mean_rx_power_dbm(1, 2), before);
+}
+
+TEST(Medium, CullingSkipsRadiosBelowTheDeliveryFloor) {
+  // Fading off -> no guard band; culling is exact.
+  World w(nist());
+  Radio& a = w.add_radio(1, {0, 0});
+  w.add_radio(2, {100, 0});      // well inside the floor
+  w.add_radio(3, {500'000, 0});  // hopeless: far below the delivery floor
+  EXPECT_EQ(w.medium().fanout_candidates(1), 1u);
+  EXPECT_EQ(w.medium().fanout_candidates(3), 0u);
+  w.simulator().at(0, [&] { a.transmit(World::whole_frame(100)); });
+  w.simulator().run();
+  EXPECT_EQ(w.listener(1).rx_starts.size(), 1u);  // radio 2 locked
+  EXPECT_TRUE(w.listener(2).rx_starts.empty());   // radio 3 heard nothing
+  EXPECT_TRUE(w.radio(2).interference().signals().empty());
+}
+
+TEST(Medium, ReachabilityFollowsPositionChanges) {
+  World w(nist());
+  w.add_radio(1, {0, 0});
+  Radio& b = w.add_radio(2, {500'000, 0});
+  EXPECT_EQ(w.medium().fanout_candidates(1), 0u);
+  b.set_position({50, 0});
+  EXPECT_EQ(w.medium().fanout_candidates(1), 1u);
+  b.set_position({500'000, 0});
+  EXPECT_EQ(w.medium().fanout_candidates(1), 0u);
+}
+
+TEST(Medium, FastAndReferencePathsProduceIdenticalOutcomes) {
+  // With per-(frame, receiver) fading substreams, the cached/culled path
+  // must reproduce the brute-force path delivery for delivery.
+  auto run_once = [](bool fast_path) {
+    MediumConfig mcfg;  // fading ON (default sigma 2 dB)
+    mcfg.enable_gain_cache = fast_path;
+    mcfg.enable_culling = fast_path;
+    World w(nist(), mcfg);
+    Radio& a = w.add_radio(1, {0, 0});
+    w.add_radio(2, {320, 0});      // marginal link, fading decides
+    w.add_radio(3, {150, 40});     // solid link
+    w.add_radio(4, {900'000, 0});  // culled under the fast path
+    for (int i = 0; i < 80; ++i) {
+      w.simulator().at(i * sim::milliseconds(2),
+                       [&] { a.transmit(World::whole_frame(1400)); });
+    }
+    w.simulator().run();
+    return std::tuple{w.radio(1).counters().locks, w.radio(1).counters().rx_ok,
+                      w.radio(2).counters().locks, w.radio(2).counters().rx_ok,
+                      w.listener(3).rx_starts.size()};
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
 }
 
 class FadingSigmaSweep : public ::testing::TestWithParam<int> {};

@@ -19,7 +19,8 @@ TEST(Registry, GlobalHasEveryBuiltin) {
        {"fig12_exposed", "fig13_inrange", "fig15_hidden", "single_link",
         "ap_wlan", "ap_wlan_3", "ap_wlan_4", "ap_wlan_5", "ap_wlan_6",
         "mesh_dissemination", "interferer_triple", "disjoint_flows_2",
-        "disjoint_flows_7", "dest_queue_ablation", "chain", "mixed_floor"}) {
+        "disjoint_flows_7", "dest_queue_ablation", "chain", "mixed_floor",
+        "dense_grid_10", "dense_grid_25", "dense_grid_50"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
 }
@@ -103,6 +104,30 @@ TEST(Registry, NewScenariosDrawWellFormedInstances) {
       nodes.insert(f.dst);
     }
     EXPECT_EQ(nodes.size(), 8u);  // exposed and hidden pairs are disjoint
+  }
+}
+
+TEST(Registry, DenseGridScalesWithDensityAndAvoidsSelfFlows) {
+  const auto& tb = shared_testbed();  // 50 nodes
+  std::size_t prev_flows = 0;
+  for (int pct : {10, 25, 50}) {
+    const auto& scenario = ScenarioRegistry::global().at(
+        "dense_grid_" + std::to_string(pct));
+    sim::Rng rng(5);
+    const auto draws = scenario.topology(tb, 2, rng);
+    ASSERT_EQ(draws.size(), 2u);
+    for (const auto& inst : draws) {
+      EXPECT_EQ(inst.flows.size(),
+                static_cast<std::size_t>(tb.size() * pct / 100));
+      std::set<phy::NodeId> senders;
+      for (const auto& f : inst.flows) {
+        EXPECT_NE(f.src, f.dst);
+        senders.insert(f.src);
+      }
+      EXPECT_EQ(senders.size(), inst.flows.size());  // senders are distinct
+    }
+    EXPECT_GT(draws[0].flows.size(), prev_flows);
+    prev_flows = draws[0].flows.size();
   }
 }
 

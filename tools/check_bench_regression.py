@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares the BENCH_pr.json emitted by bench_dense_grid (a
+stats::SweepReport with a trailing wall-clock "timing" row) against the
+committed baseline, and optionally checks the fast-path speedup ratios
+from a Google Benchmark JSON produced by bench_micro.
+
+Wall-clock comparisons are normalized by the run's own calibration_ms (a
+fixed CPU-bound workload timed on the same machine), so a slower or
+faster CI runner does not masquerade as a code regression; only changes
+relative to the machine's own speed count. The gate fails when a
+normalized timing exceeds baseline * threshold (default 1.25, i.e. >25%
+regression).
+
+Refresh the baseline after an intentional performance change by re-running
+the CI bench recipe locally (see .github/workflows/ci.yml, job
+bench-regression) and committing the new BENCH_pr.json as
+bench/baselines/BENCH_baseline.json.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_SCENARIO = "dense_grid_bench"
+CALIBRATION_KEY = "calibration_ms"
+# Workload knobs compared for exact equality (not timings): a wall-clock
+# comparison is only meaningful when the PR ran the same workload the
+# baseline did.
+EXACT_KEYS = {"nodes", "configs", "run_seconds", "threads"}
+# Timings whose baseline is shorter than this are reported but not gated:
+# sub-second samples on shared CI runners are dominated by scheduler and
+# cache noise that the calibration ratio cannot correct.
+MIN_GATED_MS = 1000.0
+
+
+def load_timing_row(path):
+    with open(path) as f:
+        report = json.load(f)
+    for run in report.get("runs", []):
+        if run.get("scenario") == TIMING_SCENARIO and run.get("scheme") == "timing":
+            return run.get("metrics", {})
+    sys.exit(f"error: {path} has no '{TIMING_SCENARIO}' timing row")
+
+
+def check_timings(pr_path, baseline_path, threshold):
+    pr = load_timing_row(pr_path)
+    base = load_timing_row(baseline_path)
+    for key in (CALIBRATION_KEY,):
+        if key not in pr or key not in base:
+            sys.exit(f"error: missing {key} in timing rows")
+    pr_calib, base_calib = pr[CALIBRATION_KEY], base[CALIBRATION_KEY]
+    if pr_calib <= 0 or base_calib <= 0:
+        sys.exit("error: non-positive calibration time")
+
+    failures = []
+    for key, base_ms in sorted(base.items()):
+        if key == CALIBRATION_KEY:
+            continue
+        if key not in pr:
+            failures.append(f"{key}: missing from PR report")
+            continue
+        if key in EXACT_KEYS:
+            if pr[key] != base_ms:
+                failures.append(f"{key}: PR ran with {pr[key]}, baseline {base_ms}"
+                                " (bench knobs must match the baseline)")
+            continue
+        pr_norm = pr[key] / pr_calib
+        base_norm = base_ms / base_calib
+        ratio = pr_norm / base_norm if base_norm > 0 else float("inf")
+        gated = base_ms >= MIN_GATED_MS
+        status = "FAIL" if gated and ratio > threshold else \
+            ("ok" if gated else "info")
+        print(f"[{status}] {key}: {pr[key]:.0f} ms (norm {pr_norm:.2f}) vs "
+              f"baseline {base_ms:.0f} ms (norm {base_norm:.2f}) -> x{ratio:.3f}")
+        if gated and ratio > threshold:
+            failures.append(f"{key}: normalized runtime x{ratio:.3f} exceeds "
+                            f"threshold x{threshold:.2f}")
+    return failures
+
+
+def micro_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b["real_time"] for b in data.get("benchmarks", [])
+            if "real_time" in b}
+
+
+def check_micro(micro_path, min_speedup):
+    """Machine-independent gate: the fast paths must beat their in-binary
+    brute-force references by at least min_speedup at the largest size."""
+    times = micro_times(micro_path)
+    pairs = [
+        ("BM_TransmitFanoutBrute/400", "BM_TransmitFanoutFast/400"),
+        ("BM_InterferenceEvaluateReference/256", "BM_InterferenceEvaluate/256"),
+    ]
+    failures = []
+    for brute, fast in pairs:
+        if brute not in times or fast not in times:
+            failures.append(f"missing {brute} / {fast} in {micro_path}")
+            continue
+        speedup = times[brute] / times[fast]
+        status = "FAIL" if speedup < min_speedup else "ok"
+        print(f"[{status}] {fast}: {speedup:.1f}x over {brute} "
+              f"(require >= {min_speedup:.1f}x)")
+        if speedup < min_speedup:
+            failures.append(f"{fast}: speedup {speedup:.1f}x below "
+                            f"{min_speedup:.1f}x")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--pr", required=True, help="BENCH_pr.json from this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline BENCH JSON")
+    ap.add_argument("--micro", help="bench_micro --benchmark_out JSON")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="allowed normalized-runtime ratio (default 1.25)")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="required fast-vs-brute speedup (default 5.0)")
+    args = ap.parse_args()
+
+    failures = check_timings(args.pr, args.baseline, args.threshold)
+    if args.micro:
+        failures += check_micro(args.micro, args.min_speedup)
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nbenchmark regression gate passed")
+
+
+if __name__ == "__main__":
+    main()
