@@ -5,55 +5,14 @@
 // to the report as metric rows, so the CMAP_BENCH_JSON artifact carries
 // both throughput results and runtime for tools/check_bench_regression.py.
 //
-// The gated measurements use process CPU time, not wall clock: the probe
-// runs single-threaded (CI pins CMAP_BENCH_THREADS=1), so CPU time is the
-// same quantity minus the scheduler noise of shared runners that would
-// otherwise flake a 25% gate.
+// The gated measurements use process CPU time normalized by the shared
+// calibration workload — see cpu_ms_now()/calibration_ms() in bench_main.h.
 //
 // Extra knob: CMAP_BENCH_NODES (default 200) sizes the testbed.
-#include <algorithm>
-#include <cmath>
-#include <ctime>
-
 #include "bench_main.h"
 
 using namespace cmap;
 using namespace cmap::bench;
-
-namespace {
-
-double cpu_ms_now() {
-  return static_cast<double>(std::clock()) * 1000.0 / CLOCKS_PER_SEC;
-}
-
-// A fixed CPU-bound workload whose runtime calibrates the machine: the
-// regression gate compares runtime *normalized by this*, so a slower or
-// faster CI runner does not masquerade as a code regression. Deliberately
-// self-contained FP arithmetic (exp/log/sqrt, the simulator's instruction
-// mix) that calls NO project code — if it exercised the code under test, a
-// real optimization or regression there would skew the normalizer and the
-// gate would misread it. Best (min) of several ~100 ms samples, so a
-// scheduler deschedule during one sample cannot skew the result.
-double calibration_ms() {
-  double best = 1e300;
-  for (int rep = 0; rep < 5; ++rep) {
-    const double t0 = cpu_ms_now();
-    double sink = 0.0;
-    double x = 1.000001;
-    for (int i = 0; i < 10'000'000; ++i) {
-      sink += std::sqrt(std::exp(std::log(x) * 0.5));
-      x += 1e-9;
-    }
-    // Fold the sink into the timing via a volatile store so the loop
-    // cannot be optimized away.
-    volatile double guard = sink;
-    (void)guard;
-    best = std::min(best, cpu_ms_now() - t0);
-  }
-  return best;
-}
-
-}  // namespace
 
 int main() {
   Scale s = load_scale();

@@ -4,8 +4,11 @@
 // parallelism) lives in scenario::SweepRunner, not here.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -85,6 +88,44 @@ inline void print_header(const char* figure, const char* paper_claim,
 
 inline void print_cdf(const char* name, const stats::Distribution& d) {
   stats::print_distribution_line(stdout, name, d);
+}
+
+/// Process CPU time in milliseconds. The CI-gated probes time with this,
+/// not wall clock: they run single-threaded (CI pins CMAP_BENCH_THREADS=1),
+/// so CPU time is the same quantity minus the scheduler noise of shared
+/// runners that would otherwise flake a 25% gate.
+inline double cpu_ms_now() {
+  return static_cast<double>(std::clock()) * 1000.0 / CLOCKS_PER_SEC;
+}
+
+/// A fixed CPU-bound workload whose runtime calibrates the machine: the
+/// regression gate compares runtime *normalized by this*, so a slower or
+/// faster CI runner does not masquerade as a code regression. ONE shared
+/// implementation — every *_ms row in the committed baseline is normalized
+/// by it, so per-bench copies would skew cross-row comparisons the moment
+/// one copy drifted. Deliberately self-contained FP arithmetic (exp/log/
+/// sqrt, the simulator's instruction mix) that calls NO project code — if
+/// it exercised the code under test, a real optimization or regression
+/// there would skew the normalizer and the gate would misread it. Best
+/// (min) of several ~100 ms samples, so a scheduler deschedule during one
+/// sample cannot skew the result.
+inline double calibration_ms() {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double t0 = cpu_ms_now();
+    double sink = 0.0;
+    double x = 1.000001;
+    for (int i = 0; i < 10'000'000; ++i) {
+      sink += std::sqrt(std::exp(std::log(x) * 0.5));
+      x += 1e-9;
+    }
+    // Fold the sink into the timing via a volatile store so the loop
+    // cannot be optimized away.
+    volatile double guard = sink;
+    (void)guard;
+    best = std::min(best, cpu_ms_now() - t0);
+  }
+  return best;
 }
 
 /// Emit the report as JSON to the path in CMAP_BENCH_JSON, when set.

@@ -51,6 +51,8 @@ struct MediumConfig {
   // fade this many sigmas above the mean to have cleared the floor. With
   // fading_sigma_db == 0 culling is exact.
   double cull_guard_sigmas = 6.0;
+
+  bool operator==(const MediumConfig&) const = default;
 };
 
 class Medium {

@@ -40,6 +40,8 @@ struct LogDistanceConfig {
   double shadow_sigma_db = 8.0;   // per unordered pair, symmetric
   double asym_sigma_db = 2.0;     // extra per ordered pair (link asymmetry)
   std::uint64_t seed = 1;         // shadowing realization
+
+  bool operator==(const LogDistanceConfig&) const = default;
 };
 
 /// Log-distance path loss with deterministic per-pair shadowing: the same

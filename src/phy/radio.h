@@ -41,6 +41,8 @@ struct RadioConfig {
   // Integrated-PHY (PPR) mode: salvage kHeader/kTrailer segments of frames
   // the radio never locked onto.
   bool salvage_enabled = false;
+
+  bool operator==(const RadioConfig&) const = default;
 };
 
 /// Callbacks a MAC implements to drive/observe its radio. All callbacks run

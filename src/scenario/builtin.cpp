@@ -3,6 +3,7 @@
 // is a ~20-line registration — a topology generator, optionally a custom
 // executor, and defaults — which is the template for adding new ones.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -488,6 +489,34 @@ Scenario make_dense_grid(std::string name, int sender_pct) {
   return s;
 }
 
+// ---- NEW: testbed_100/200/400 — large-building scaling family ----
+//
+// The dense-grid workload bound to a canonical large testbed: each member
+// prescribes its own building via Scenario::testbed, so SweepRunner's
+// run(sweep) overload instantiates it through the global TestbedCache
+// (one measurement pass per size, however many sweeps run). This is the
+// scenario family the tabulated measurement pass exists for — the
+// exposed-terminal concurrency gains the paper reports need large-n
+// evidence, and cheap testbed instantiation is what unlocks it.
+
+Scenario make_testbed_family(int nodes) {
+  Scenario s = make_dense_grid("testbed_" + std::to_string(nodes), 25);
+  char desc[112];
+  std::snprintf(desc, sizeof(desc),
+                "dense-grid workload on a canonical %d-node building "
+                "(resolved via TestbedCache; scaling family)",
+                nodes);
+  s.description = desc;
+  testbed::TestbedConfig cfg;
+  cfg.num_nodes = nodes;
+  // Same floor density as the paper's 50-node / 70x40 m office.
+  const double scale = std::sqrt(nodes / 50.0);
+  cfg.width_m = 70.0 * scale;
+  cfg.height_m = 40.0 * scale;
+  s.testbed = cfg;
+  return s;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -518,6 +547,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_mixed_floor());
   for (int pct : {10, 25, 50}) {
     registry.add(make_dense_grid("dense_grid_" + std::to_string(pct), pct));
+  }
+  for (int nodes : {100, 200, 400}) {
+    registry.add(make_testbed_family(nodes));
   }
 }
 

@@ -56,7 +56,10 @@ class ScenarioRegistry {
 ///       floor, testing per-pair discrimination;
 ///   dense_grid_10/25/50  — NEW: that percentage of all nodes transmit
 ///       concurrently to their best-PRR neighbors (the PHY fast-path
-///       stress workload; pair with a large TestbedConfig::num_nodes).
+///       stress workload; pair with a large TestbedConfig::num_nodes);
+///   testbed_100/200/400  — NEW: the dense-grid workload bound to a
+///       canonical building of that size (Scenario::testbed +
+///       TestbedCache; the measurement fast path's scaling family).
 void register_builtin_scenarios(ScenarioRegistry& registry);
 
 }  // namespace cmap::scenario

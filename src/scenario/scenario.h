@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +67,12 @@ struct Scenario {
   /// Per-scenario defaults (duration, warmup, packet size). The sweep's
   /// scheme/seed/overrides are applied on top.
   testbed::RunConfig defaults;
+  /// Canonical testbed for scenarios that prescribe their own building
+  /// (e.g. the testbed_100/200/400 scaling family). Unset means the driver
+  /// supplies one. SweepRunner's run(sweep) overload resolves it through
+  /// the global TestbedCache, so repeated sweeps share one measurement
+  /// pass.
+  std::optional<testbed::TestbedConfig> testbed;
 };
 
 /// The default executor: saturate every flow of the instance and report

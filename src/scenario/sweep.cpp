@@ -1,26 +1,16 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "sim/assert.h"
+#include "sim/parallel.h"
+#include "testbed/testbed.h"
 
 namespace cmap::scenario {
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts) {
   std::uint64_t h = 0x6a09e667f3bcc908ull;  // sqrt(2) fractional bits
-  for (std::uint64_t p : parts) h = splitmix64(h ^ splitmix64(p));
+  for (std::uint64_t p : parts) h = sim::mix64(h ^ sim::mix64(p));
   return h;
 }
 
@@ -33,17 +23,8 @@ std::uint64_t hash_name(const std::string& name) {
   return h;
 }
 
-int default_thread_count() {
-  if (const char* v = std::getenv("CMAP_BENCH_THREADS")) {
-    const long n = std::atol(v);
-    if (n > 0) return static_cast<int>(n);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
-}
-
 SweepRunner::SweepRunner(int threads)
-    : threads_(threads > 0 ? threads : default_thread_count()) {}
+    : threads_(threads > 0 ? threads : sim::default_thread_count()) {}
 
 std::vector<RunSpec> SweepRunner::expand(const Sweep& sweep,
                                          int drawn_topologies) {
@@ -154,43 +135,24 @@ stats::SweepReport SweepRunner::run(const Sweep& sweep,
     slot.valid = true;
   };
 
-  const int workers =
-      std::min(threads_, static_cast<int>(specs.empty() ? 1 : specs.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) execute(specs[i], slots[i]);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    auto work = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= specs.size() || failed.load(std::memory_order_relaxed)) {
-          return;
-        }
-        try {
-          execute(specs[i], slots[i]);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (auto& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  sim::parallel_for(threads_, specs.size(),
+                    [&](std::size_t i) { execute(specs[i], slots[i]); });
 
   stats::SweepReport report;
   for (auto& slot : slots) {
     if (slot.valid) report.add_row(std::move(slot.row));
   }
   return report;
+}
+
+stats::SweepReport SweepRunner::run(const Sweep& sweep,
+                                    const ScenarioRegistry& registry) const {
+  const Scenario& scenario = registry.at(sweep.scenario);
+  CMAP_ASSERT(scenario.testbed.has_value(),
+              "scenario has no canonical testbed; pass one explicitly");
+  const std::shared_ptr<const testbed::Testbed> tb =
+      testbed::TestbedCache::global().get(*scenario.testbed);
+  return run(sweep, *tb, registry);
 }
 
 }  // namespace cmap::scenario

@@ -50,25 +50,18 @@ struct RunSpec {
   std::uint64_t seed = 0;  // fully mixed; see mix_seed()
 };
 
-/// SplitMix64 finalizer (Steele, Lea & Flood) — the same mixer random.h
-/// uses for substream derivation.
-std::uint64_t splitmix64(std::uint64_t x);
-
 /// Collision-resistant combination of run coordinates into one 64-bit
-/// seed. Replaces the old `seed * 7919 + scheme` bench derivation, whose
-/// low-entropy arithmetic collided across schemes and configs.
+/// seed, built on sim::mix64. Replaces the old `seed * 7919 + scheme`
+/// bench derivation, whose low-entropy arithmetic collided across schemes
+/// and configs.
 std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts);
 
 /// FNV-1a, used to fold scenario names into the seed mix.
 std::uint64_t hash_name(const std::string& name);
 
-/// Worker count from the environment: CMAP_BENCH_THREADS if set, else the
-/// hardware concurrency (at least 1).
-int default_thread_count();
-
 class SweepRunner {
  public:
-  /// `threads` <= 0 resolves via default_thread_count().
+  /// `threads` <= 0 resolves via sim::default_thread_count().
   explicit SweepRunner(int threads = 0);
 
   int threads() const { return threads_; }
@@ -88,6 +81,14 @@ class SweepRunner {
   /// rows in deterministic (expansion) order.
   stats::SweepReport run(
       const Sweep& sweep, const testbed::Testbed& tb,
+      const ScenarioRegistry& registry = ScenarioRegistry::global()) const;
+
+  /// Same, but resolve the testbed from the scenario's canonical
+  /// TestbedConfig (Scenario::testbed, asserted set) through the global
+  /// TestbedCache — repeated sweeps over the same building reuse one
+  /// measurement pass.
+  stats::SweepReport run(
+      const Sweep& sweep,
       const ScenarioRegistry& registry = ScenarioRegistry::global()) const;
 
  private:

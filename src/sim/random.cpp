@@ -21,6 +21,13 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) : Rng(seed, 0x6a09e667f3bcc909ull) {}
 
 Rng::Rng(std::uint64_t a, std::uint64_t b) : seed_lo_(a), seed_hi_(b) {

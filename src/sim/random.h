@@ -15,6 +15,12 @@
 
 namespace cmap::sim {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood): a bijective 64-bit mixer.
+/// THE way to fold structured coordinates (pair ids, sweep axes) into a
+/// substream id or seed — arithmetic packings like `a * 1000 + b` collide
+/// as soon as a coordinate outgrows the multiplier.
+std::uint64_t mix64(std::uint64_t x);
+
 /// xoshiro256++ PRNG plus the distributions the simulator needs.
 class Rng {
  public:

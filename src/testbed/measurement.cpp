@@ -1,0 +1,220 @@
+#include "testbed/measurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "phy/units.h"
+#include "sim/assert.h"
+#include "sim/parallel.h"
+
+namespace cmap::testbed {
+namespace {
+
+// Resolution of the no-fading success table. Decode probability transitions
+// over a few dB (coded OFDM is sharp, but not 0.02-dB sharp), so linear
+// interpolation at this step is far below the fast-path tolerance.
+constexpr double kSuccessStepDb = 0.02;
+
+// Fading tail coverage: quadrature strata reach |z| <= ~3.3 sigma at the
+// default 512 strata; 8 sigma bounds the mass any grid can ignore (~6e-16).
+constexpr double kTailSigmas = 8.0;
+
+/// Inverse standard normal CDF, Acklam's rational approximation
+/// (|relative error| < 1.2e-9 — far below the quadrature resolution).
+double inverse_normal_cdf(double p) {
+  p = std::clamp(p, 1e-300, 1.0 - 1e-16);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double lerp_table(const std::vector<double>& table, double lo, double step,
+                  double x) {
+  if (x <= lo) return table.front();
+  const double rank = (x - lo) / step;
+  const auto idx = static_cast<std::size_t>(rank);
+  if (idx + 1 >= table.size()) return table.back();
+  const double frac = rank - static_cast<double>(idx);
+  return table[idx] * (1.0 - frac) + table[idx + 1] * frac;
+}
+
+}  // namespace
+
+std::uint64_t pair_stream_id(phy::NodeId from, phy::NodeId to) {
+  return sim::mix64((static_cast<std::uint64_t>(from) << 32) |
+                    static_cast<std::uint64_t>(to));
+}
+
+double percentile_of(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+LinkMeasurement::LinkMeasurement(
+    const LinkMeasurementSpec& spec,
+    std::shared_ptr<const phy::PropagationModel> propagation,
+    std::shared_ptr<const phy::ErrorModel> error_model)
+    : spec_(spec),
+      propagation_(std::move(propagation)),
+      error_model_(std::move(error_model)) {
+  CMAP_ASSERT(propagation_ != nullptr, "measurement needs a propagation model");
+  CMAP_ASSERT(error_model_ != nullptr, "measurement needs an error model");
+  noise_mw_ = phy::dbm_to_mw(spec_.radio.noise_floor_dbm);
+  impl_loss_linear_ = phy::db_to_linear(spec_.radio.implementation_loss_db);
+  // + MAC overhead, matching the live probe framing.
+  probe_bits_ = 8.0 * static_cast<double>(spec_.probe_bytes + 28);
+  gate_dbm_ = std::max(spec_.radio.sensitivity_dbm,
+                       spec_.radio.noise_floor_dbm +
+                           spec_.radio.preamble_min_sinr_db);
+  // Reference-mode instances never consult the tables, and without fading
+  // fast_prr() short-circuits to probe_success(); only build when needed
+  // (table cost would otherwise inflate every reference-mode build).
+  if (spec_.config.mode == MeasurementMode::kFast &&
+      spec_.fading_sigma_db > 0.0) {
+    build_tables();
+  }
+}
+
+double LinkMeasurement::probe_success(double rx_dbm) const {
+  if (rx_dbm < spec_.radio.sensitivity_dbm) return 0.0;  // no lock
+  const double sinr = phy::dbm_to_mw(rx_dbm) / noise_mw_;
+  if (phy::linear_to_db(sinr) < spec_.radio.preamble_min_sinr_db) return 0.0;
+  return error_model_->chunk_success(sinr / impl_loss_linear_, probe_bits_,
+                                     spec_.probe_rate);
+}
+
+void LinkMeasurement::build_tables() {
+  const double sigma = std::max(0.0, spec_.fading_sigma_db);
+  // PRR grid: from "a +8-sigma fade still misses the lock gate" up to
+  // "a -8-sigma fade still saturates the error model" (coded success hits
+  // exactly 1 well before gate + 85 dB for every supported rate).
+  prr_lo_dbm_ = gate_dbm_ - kTailSigmas * sigma;
+  const double prr_hi_dbm = gate_dbm_ + 85.0;
+  // Success grid: wide enough for every faded lookup the PRR grid makes.
+  success_lo_dbm_ = prr_lo_dbm_ - kTailSigmas * sigma;
+  const double success_hi_dbm = prr_hi_dbm + kTailSigmas * sigma;
+
+  const auto success_entries = static_cast<std::size_t>(
+      (success_hi_dbm - success_lo_dbm_) / kSuccessStepDb) + 2;
+  success_table_.resize(success_entries);
+  for (std::size_t i = 0; i < success_entries; ++i) {
+    success_table_[i] =
+        probe_success(success_lo_dbm_ + static_cast<double>(i) * kSuccessStepDb);
+  }
+
+  const double step = spec_.config.table_step_db;
+  CMAP_ASSERT(step > 0.0, "table_step_db must be positive");
+  const auto prr_entries =
+      static_cast<std::size_t>((prr_hi_dbm - prr_lo_dbm_) / step) + 2;
+  prr_table_.resize(prr_entries);
+  // Midpoint-stratified quadrature over the fading Gaussian: fade offsets
+  // at the quantile midpoints, equal weights.
+  const int strata = std::max(1, spec_.config.table_strata);
+  std::vector<double> offsets(static_cast<std::size_t>(strata));
+  for (int k = 0; k < strata; ++k) {
+    offsets[static_cast<std::size_t>(k)] =
+        sigma * inverse_normal_cdf((static_cast<double>(k) + 0.5) /
+                                   static_cast<double>(strata));
+  }
+  for (std::size_t i = 0; i < prr_entries; ++i) {
+    const double mean = prr_lo_dbm_ + static_cast<double>(i) * step;
+    double sum = 0.0;
+    for (const double off : offsets) sum += success_from_table(mean + off);
+    prr_table_[i] = sum / static_cast<double>(strata);
+  }
+}
+
+double LinkMeasurement::success_from_table(double rx_dbm) const {
+  return lerp_table(success_table_, success_lo_dbm_, kSuccessStepDb, rx_dbm);
+}
+
+double LinkMeasurement::fast_prr(double mean_dbm) const {
+  if (spec_.fading_sigma_db <= 0.0) return probe_success(mean_dbm);
+  CMAP_ASSERT(!prr_table_.empty(), "fast_prr needs MeasurementMode::kFast");
+  if (mean_dbm < prr_lo_dbm_) return 0.0;  // beyond any +8-sigma fade
+  return lerp_table(prr_table_, prr_lo_dbm_, spec_.config.table_step_db,
+                    mean_dbm);
+}
+
+double LinkMeasurement::reference_prr(double mean_dbm,
+                                      sim::Rng stream) const {
+  const int samples = std::max(1, spec_.fading_samples);
+  const double sigma = spec_.fading_sigma_db;
+  if (sigma <= 0.0) return probe_success(mean_dbm);
+  double sum = 0.0;
+  for (int k = 0; k < samples; ++k) {
+    // One uniform draw per stratum: u_k in [k/N, (k+1)/N).
+    const double u = (static_cast<double>(k) + stream.uniform()) /
+                     static_cast<double>(samples);
+    sum += probe_success(mean_dbm + sigma * inverse_normal_cdf(u));
+  }
+  return sum / static_cast<double>(samples);
+}
+
+LinkMeasurementResult LinkMeasurement::measure(
+    const std::vector<phy::Position>& positions) const {
+  const auto n = positions.size();
+  LinkMeasurementResult result;
+  result.prr.assign(n * n, 0.0);
+  result.signal.assign(n * n, -300.0);
+
+  const bool fast = spec_.config.mode == MeasurementMode::kFast;
+  sim::parallel_for(spec_.config.threads, n, [&](std::size_t row) {
+    const auto i = static_cast<phy::NodeId>(row);
+    for (std::size_t col = 0; col < n; ++col) {
+      if (col == row) continue;
+      const auto j = static_cast<phy::NodeId>(col);
+      const double s = propagation_->rx_power_dbm(
+          spec_.radio.tx_power_dbm, i, j, positions[row], positions[col]);
+      result.signal[row * n + col] = s;
+      result.prr[row * n + col] =
+          fast ? fast_prr(s)
+               : reference_prr(s, sim::Rng(spec_.seed)
+                                      .substream(0xfade, pair_stream_id(i, j)));
+    }
+  });
+
+  for (std::size_t k = 0; k < n * n; ++k) {
+    if (result.signal[k] >= spec_.delivery_floor_dbm) {
+      result.connected_signals.push_back(result.signal[k]);
+    }
+  }
+  std::sort(result.connected_signals.begin(), result.connected_signals.end());
+  result.p10 = percentile_of(result.connected_signals, 10.0);
+  result.p90 = percentile_of(result.connected_signals, 90.0);
+  return result;
+}
+
+}  // namespace cmap::testbed

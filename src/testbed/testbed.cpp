@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "phy/units.h"
-#include "phy/wifi_rate.h"
 #include "sim/assert.h"
 
 namespace cmap::testbed {
@@ -33,52 +32,25 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     if (ok) positions_.push_back(p);
   }
 
-  // Measurement pass: PRR and signal strength per directed pair.
-  const int n = config_.num_nodes;
-  prr_.assign(static_cast<std::size_t>(n) * n, 0.0);
-  signal_.assign(static_cast<std::size_t>(n) * n, -300.0);
-  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
-    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
-      if (i == j) continue;
-      const double s = propagation_->rx_power_dbm(
-          config_.radio.tx_power_dbm, i, j, positions_[i], positions_[j]);
-      signal_[i * n + j] = s;
-      prr_[i * n + j] = compute_prr(i, j);
-      if (s >= config_.medium.delivery_floor_dbm) {
-        connected_signals_.push_back(s);
-      }
-    }
-  }
-  std::sort(connected_signals_.begin(), connected_signals_.end());
-}
-
-double Testbed::compute_prr(phy::NodeId from, phy::NodeId to) const {
-  const double mean_dbm = propagation_->rx_power_dbm(
-      config_.radio.tx_power_dbm, from, to, positions_[from], positions_[to]);
-  const double noise_mw = phy::dbm_to_mw(config_.radio.noise_floor_dbm);
-  const double impl = phy::db_to_linear(config_.radio.implementation_loss_db);
-  const double bits =
-      8.0 * static_cast<double>(config_.probe_bytes + 28);  // + MAC overhead
-  // Average packet success probability over the fading distribution,
-  // gating on the preamble lock conditions the live radio applies.
-  sim::Rng rng = sim::Rng(config_.seed).substream(0xfade, from * 1000 + to);
-  double sum = 0.0;
-  const int samples = std::max(1, config_.prr_fading_samples);
-  for (int s = 0; s < samples; ++s) {
-    const double fade =
-        config_.medium.fading_sigma_db > 0
-            ? rng.normal(0.0, config_.medium.fading_sigma_db)
-            : 0.0;
-    const double p_dbm = mean_dbm + fade;
-    if (p_dbm < config_.radio.sensitivity_dbm) continue;  // no lock
-    const double sinr =
-        phy::dbm_to_mw(p_dbm) / noise_mw;
-    if (phy::linear_to_db(sinr) < config_.radio.preamble_min_sinr_db) {
-      continue;
-    }
-    sum += error_model_->chunk_success(sinr / impl, bits, config_.probe_rate);
-  }
-  return sum / samples;
+  // Measurement pass: PRR and signal strength per directed pair, delegated
+  // to the LinkMeasurement subsystem (fast tabulated path or the retained
+  // per-pair Monte-Carlo reference, per config_.measurement).
+  LinkMeasurementSpec spec;
+  spec.radio = config_.radio;
+  spec.fading_sigma_db = config_.medium.fading_sigma_db;
+  spec.delivery_floor_dbm = config_.medium.delivery_floor_dbm;
+  spec.probe_rate = config_.probe_rate;
+  spec.probe_bytes = config_.probe_bytes;
+  spec.fading_samples = config_.prr_fading_samples;
+  spec.seed = config_.seed;
+  spec.config = config_.measurement;
+  LinkMeasurement measurement(spec, propagation_, error_model_);
+  LinkMeasurementResult result = measurement.measure(positions_);
+  prr_ = std::move(result.prr);
+  signal_ = std::move(result.signal);
+  connected_signals_ = std::move(result.connected_signals);
+  p10_ = result.p10;
+  p90_ = result.p90;
 }
 
 double Testbed::prr(phy::NodeId from, phy::NodeId to) const {
@@ -93,29 +65,21 @@ double Testbed::signal_dbm(phy::NodeId from, phy::NodeId to) const {
 
 double Testbed::signal_percentile(double p) const {
   CMAP_ASSERT(!connected_signals_.empty(), "no connected links");
-  const double rank =
-      p / 100.0 * static_cast<double>(connected_signals_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= connected_signals_.size()) return connected_signals_.back();
-  return connected_signals_[lo] * (1 - frac) +
-         connected_signals_[lo + 1] * frac;
+  return percentile_of(connected_signals_, p);
 }
 
 bool Testbed::in_range(phy::NodeId a, phy::NodeId b) const {
-  const double p10 = signal_percentile(10.0);
-  return prr(a, b) > 0.2 && prr(b, a) > 0.2 && signal_dbm(a, b) >= p10 &&
-         signal_dbm(b, a) >= p10;
+  return prr(a, b) > 0.2 && prr(b, a) > 0.2 && signal_dbm(a, b) >= p10_ &&
+         signal_dbm(b, a) >= p10_;
 }
 
 bool Testbed::potential_link(phy::NodeId a, phy::NodeId b) const {
-  const double p10 = signal_percentile(10.0);
-  return prr(a, b) > 0.9 && prr(b, a) > 0.9 && signal_dbm(a, b) >= p10 &&
-         signal_dbm(b, a) >= p10;
+  return prr(a, b) > 0.9 && prr(b, a) > 0.9 && signal_dbm(a, b) >= p10_ &&
+         signal_dbm(b, a) >= p10_;
 }
 
 bool Testbed::strong_signal(phy::NodeId from, phy::NodeId to) const {
-  return signal_dbm(from, to) >= signal_percentile(90.0);
+  return signal_dbm(from, to) >= p90_;
 }
 
 Testbed::LinkClasses Testbed::link_classes() const {
@@ -158,6 +122,45 @@ double Testbed::mean_degree() const {
     total += deg;
   }
   return total / n;
+}
+
+std::shared_ptr<const Testbed> TestbedCache::get(const TestbedConfig& config) {
+  // The thread knob is result-invariant (measurement.h guarantees it), so
+  // it must not fragment the cache; everything else changes the built
+  // testbed and stays in the key.
+  TestbedConfig key = config;
+  key.measurement.threads = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [k, tb] : entries_) {
+      if (k == key) return tb;
+    }
+  }
+  // Build outside the lock so hits and other configs are never serialized
+  // behind a measurement pass. Concurrent misses on one config may build
+  // twice; the first insert wins and every caller gets that instance.
+  auto built = std::make_shared<const Testbed>(config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [k, tb] : entries_) {
+    if (k == key) return tb;
+  }
+  entries_.emplace_back(std::move(key), built);
+  return built;
+}
+
+std::size_t TestbedCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TestbedCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+TestbedCache& TestbedCache::global() {
+  static TestbedCache cache;
+  return cache;
 }
 
 }  // namespace cmap::testbed

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "phy/error_model.h"
@@ -19,6 +20,7 @@
 #include "phy/radio.h"
 #include "phy/types.h"
 #include "sim/random.h"
+#include "testbed/measurement.h"
 
 namespace cmap::testbed {
 
@@ -33,7 +35,14 @@ struct TestbedConfig {
   phy::MediumConfig medium = default_medium(); // fading during live runs
   phy::WifiRate probe_rate = phy::WifiRate::k6Mbps;
   std::size_t probe_bytes = 1400;
-  int prr_fading_samples = 100;  // Monte-Carlo fading draws per link
+  int prr_fading_samples = 100;  // reference-mode fading draws per link
+  /// How the measurement pass runs (fast/reference, threads, table
+  /// resolution) — see measurement.h. Does not affect placement or
+  /// signal strengths, only how link PRRs are estimated.
+  MeasurementConfig measurement = {};
+
+  /// Full structural equality — the TestbedCache key.
+  bool operator==(const TestbedConfig&) const = default;
 
   static phy::LogDistanceConfig default_prop() {
     phy::LogDistanceConfig p;
@@ -88,6 +97,9 @@ class Testbed {
 
   /// Percentile (0-100) of signal strength across all connected directed
   /// links network-wide — the paper's "10th/90th percentile" thresholds.
+  /// The 10th/90th values the link predicates use are precomputed at
+  /// measurement time (they used to be recomputed inside every predicate
+  /// call of the pickers' O(L^2) loops).
   double signal_percentile(double p) const;
 
   // ---- The paper's §5.1 link predicates ----
@@ -110,8 +122,6 @@ class Testbed {
   double mean_degree() const;
 
  private:
-  double compute_prr(phy::NodeId from, phy::NodeId to) const;
-
   TestbedConfig config_;
   std::vector<phy::Position> positions_;
   std::shared_ptr<phy::LogDistanceShadowing> propagation_;
@@ -119,6 +129,32 @@ class Testbed {
   std::vector<double> prr_;         // [from * n + to]
   std::vector<double> signal_;      // [from * n + to]
   std::vector<double> connected_signals_;  // sorted, for percentiles
+  double p10_ = 0.0;  // cached signal_percentile(10/90); NaN when no pair
+  double p90_ = 0.0;  // clears the delivery floor (predicates then false)
+};
+
+/// Memoizes built testbeds by config (including seed; the result-invariant
+/// measurement thread knob is normalized out of the key), so sweeps and
+/// benches instantiating the same building repeatedly stop re-running the
+/// measurement pass. Entries are shared_ptr<const Testbed>: hits return
+/// the identical instance. Thread-safe; misses build outside the lock, so
+/// hits and unrelated configs never wait on a measurement pass (concurrent
+/// misses on one config may build twice — the first insert wins and every
+/// caller gets that one instance).
+class TestbedCache {
+ public:
+  std::shared_ptr<const Testbed> get(const TestbedConfig& config);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Process-wide cache (used by SweepRunner's scenario-resolved overload).
+  static TestbedCache& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<TestbedConfig, std::shared_ptr<const Testbed>>>
+      entries_;
 };
 
 }  // namespace cmap::testbed

@@ -6,9 +6,12 @@
 namespace cmap::testbed {
 namespace {
 
-/// Sample up to `count` elements uniformly without replacement.
+/// Sample up to `count` elements uniformly without replacement. A
+/// non-positive count yields an empty sample (casting a negative count to
+/// size_t used to silently select the whole pool).
 template <typename T>
 std::vector<T> sample(std::vector<T> pool, int count, sim::Rng& rng) {
+  if (count <= 0) return {};
   // Partial Fisher-Yates.
   const std::size_t want =
       std::min<std::size_t>(pool.size(), static_cast<std::size_t>(count));
@@ -228,10 +231,16 @@ std::optional<MeshScenario> TopologyPicker::mesh_scenario(
 std::vector<Triple> TopologyPicker::interferer_triples(int count,
                                                        sim::Rng& rng) const {
   const auto links = potential_links();
-  if (links.empty()) return {};
+  if (links.empty() || count <= 0) return {};
   std::vector<Triple> out;
   const auto n = static_cast<phy::NodeId>(tb_.size());
-  while (static_cast<int>(out.size()) < count) {
+  // Bounded rejection sampling: on a degenerate testbed (e.g. two nodes,
+  // where every candidate interferer equals s or r) the unbounded loop
+  // never terminated. Return what was found within the attempt budget.
+  const int max_attempts = count * 100;
+  for (int attempt = 0;
+       attempt < max_attempts && static_cast<int>(out.size()) < count;
+       ++attempt) {
     const auto& [s, r] =
         links[rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1)];
     const auto i = static_cast<phy::NodeId>(rng.uniform_int(0, n - 1));

@@ -185,6 +185,34 @@ TEST(SweepRunnerTest, RealSweepIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// The testbed_100/200/400 family prescribes its own building; the
+// testbed-resolving overload must instantiate it through the global
+// TestbedCache so repeated sweeps share one measurement pass.
+TEST(SweepRunnerTest, ScenarioResolvedTestbedComesFromTheGlobalCache) {
+  const auto& reg = ScenarioRegistry::global();
+  const Scenario& scenario = reg.at("testbed_100");
+  ASSERT_TRUE(scenario.testbed.has_value());
+  EXPECT_EQ(scenario.testbed->num_nodes, 100);
+  // fig12_exposed has no canonical building: drivers must pass one.
+  EXPECT_FALSE(reg.at("fig12_exposed").testbed.has_value());
+
+  const auto tb1 = testbed::TestbedCache::global().get(*scenario.testbed);
+  const auto tb2 = testbed::TestbedCache::global().get(*scenario.testbed);
+  EXPECT_EQ(tb1.get(), tb2.get());
+  EXPECT_EQ(tb1->size(), 100);
+
+  Sweep sweep;
+  sweep.scenario = "testbed_100";
+  sweep.schemes = {testbed::Scheme::kCsma};
+  sweep.topologies = 1;
+  sweep.duration = sim::seconds(1);
+  sweep.warmup = sim::seconds(0);
+  const auto via_cache = SweepRunner(1).run(sweep);
+  const auto explicit_tb = SweepRunner(1).run(sweep, *tb1);
+  ASSERT_FALSE(via_cache.rows().empty());
+  EXPECT_EQ(via_cache.to_json(), explicit_tb.to_json());
+}
+
 TEST(SweepRunnerTest, DrawTopologiesMatchesWhatRunUses) {
   Sweep sweep;
   sweep.scenario = "fig12_exposed";

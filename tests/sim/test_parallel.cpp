@@ -1,0 +1,64 @@
+// The shared-index parallel loop must execute every index exactly once for
+// any worker count, propagate the first exception, and degrade to an
+// inline loop for <= 1 effective worker.
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cmap::sim {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    parallel_for(threads, hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  bool called = false;
+  parallel_for(4, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(3);
+  parallel_for(1, seen.size(),
+               [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, WorkerCountCappedAtItemCount) {
+  // 64 workers over 2 items must not deadlock or double-run items.
+  std::vector<std::atomic<int>> hits(2);
+  for (auto& h : hits) h.store(0);
+  parallel_for(64, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for(threads, 100,
+                     [&](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace cmap::sim

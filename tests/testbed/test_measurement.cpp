@@ -1,0 +1,200 @@
+// The LinkMeasurement subsystem: the tabulated fast path must agree with
+// the retained per-pair Monte-Carlo reference within tight tolerances, the
+// pair substream derivation must be collision-free, results must not
+// depend on the measurement thread count, and the TestbedCache must hand
+// back the identical instance on a hit.
+#include "testbed/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "testbed/testbed.h"
+
+namespace cmap::testbed {
+namespace {
+
+TestbedConfig config_with_mode(MeasurementMode mode, int num_nodes = 50) {
+  TestbedConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.measurement.mode = mode;
+  return cfg;
+}
+
+// ---- Fading substream derivation (regression: key collisions) ----
+
+TEST(PairStreamId, PreviouslyCollidingPairsGetDistinctStreams) {
+  // The old `from * 1000 + to` packing mapped these pairs to one key as
+  // soon as a testbed passed 1000 nodes.
+  EXPECT_EQ(0u * 1000 + 1005, 1u * 1000 + 5);  // the documented collision
+  EXPECT_NE(pair_stream_id(0, 1005), pair_stream_id(1, 5));
+  EXPECT_NE(pair_stream_id(2, 2030), pair_stream_id(0, 4030));
+  // The streams themselves must differ, not just the ids.
+  sim::Rng root(1);
+  sim::Rng a = root.substream(0xfade, pair_stream_id(0, 1005));
+  sim::Rng b = root.substream(0xfade, pair_stream_id(1, 5));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(PairStreamId, NoCollisionsAcrossLargePairSpace) {
+  // Every directed pair over 1400 node ids (spanning the old 1000-node
+  // wrap-around) must map to a unique key.
+  std::unordered_set<std::uint64_t> seen;
+  const phy::NodeId n = 1400;
+  seen.reserve(static_cast<std::size_t>(n) * 4);
+  for (phy::NodeId i = 0; i < n; ++i) {
+    // Dense near the wrap plus a strided sweep keeps this O(n) per node.
+    for (phy::NodeId j : {i + 1, i + 999, i + 1000, i + 1001, i + 1005}) {
+      EXPECT_TRUE(seen.insert(pair_stream_id(i, j)).second)
+          << "collision at (" << i << ", " << j << ")";
+    }
+  }
+  // Direction matters.
+  EXPECT_NE(pair_stream_id(3, 7), pair_stream_id(7, 3));
+}
+
+// ---- Fast (tabulated) vs reference (Monte-Carlo) agreement ----
+
+TEST(Measurement, FastMatchesReferenceWithinTolerance) {
+  const Testbed fast(config_with_mode(MeasurementMode::kFast));
+  // The reference estimator's worst-case stratification error is
+  // 1/samples; at the default 100 draws that is exactly the 0.01 pin, so
+  // a mid-transition link can sit at 0.00999 with zero headroom. Testing
+  // against 400 draws bounds the reference error at 0.0025, leaving the
+  // pin real margin while exercising the same per-pair sampling path.
+  TestbedConfig ref_cfg = config_with_mode(MeasurementMode::kReference);
+  ref_cfg.prr_fading_samples = 400;
+  const Testbed ref(ref_cfg);
+  const int n = fast.size();
+
+  double max_delta = 0.0;
+  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
+      if (i == j) continue;
+      // Signal strengths are mode-independent (same propagation draw).
+      EXPECT_DOUBLE_EQ(fast.signal_dbm(i, j), ref.signal_dbm(i, j));
+      max_delta = std::max(max_delta,
+                           std::abs(fast.prr(i, j) - ref.prr(i, j)));
+    }
+  }
+  EXPECT_LE(max_delta, 0.01) << "tabulated PRR drifted from the reference";
+
+  // Calibration statistics within 1%.
+  const auto lc_fast = fast.link_classes();
+  const auto lc_ref = ref.link_classes();
+  EXPECT_EQ(lc_fast.connected_pairs, lc_ref.connected_pairs);
+  EXPECT_NEAR(lc_fast.frac_dead, lc_ref.frac_dead, 0.01);
+  EXPECT_NEAR(lc_fast.frac_mid, lc_ref.frac_mid, 0.01);
+  EXPECT_NEAR(lc_fast.frac_perfect, lc_ref.frac_perfect, 0.01);
+  EXPECT_NEAR(fast.mean_degree(), ref.mean_degree(),
+              0.01 * ref.mean_degree());
+}
+
+TEST(Measurement, EstimatorsAgreeAcrossTheWholeTransitionBand) {
+  // Sweep mean power through the PRR transition: the two pure 1-D
+  // estimators must track each other everywhere, not just at testbed
+  // links.
+  LinkMeasurementSpec spec;
+  spec.radio = TestbedConfig::default_radio();
+  spec.fading_samples = 400;  // bound the reference error at 1/400
+  LinkMeasurement m(spec, std::make_shared<phy::LogDistanceShadowing>(),
+                    std::make_shared<phy::NistErrorModel>());
+  sim::Rng root(7);
+  for (double dbm = -110.0; dbm <= -60.0; dbm += 0.25) {
+    const double fast = m.fast_prr(dbm);
+    const double ref = m.reference_prr(
+        dbm, root.substream(0xfade, pair_stream_id(1, 2)));
+    EXPECT_NEAR(fast, ref, 0.01) << "at " << dbm << " dBm";
+    EXPECT_GE(fast, 0.0);
+    EXPECT_LE(fast, 1.0);
+  }
+  // Extremes saturate exactly.
+  EXPECT_DOUBLE_EQ(m.fast_prr(-300.0), 0.0);
+  EXPECT_NEAR(m.fast_prr(-40.0), 1.0, 1e-9);
+}
+
+TEST(Measurement, FastPrrIsMonotoneInMeanPower) {
+  LinkMeasurementSpec spec;
+  spec.radio = TestbedConfig::default_radio();
+  LinkMeasurement m(spec, std::make_shared<phy::LogDistanceShadowing>(),
+                    std::make_shared<phy::NistErrorModel>());
+  double prev = -1.0;
+  for (double dbm = -120.0; dbm <= -50.0; dbm += 0.1) {
+    const double p = m.fast_prr(dbm);
+    EXPECT_GE(p, prev - 1e-12) << "at " << dbm << " dBm";
+    prev = p;
+  }
+}
+
+// ---- Thread-count invariance ----
+
+TEST(Measurement, ResultsIdenticalForAnyThreadCount) {
+  for (MeasurementMode mode :
+       {MeasurementMode::kFast, MeasurementMode::kReference}) {
+    TestbedConfig serial = config_with_mode(mode, 24);
+    TestbedConfig sharded = serial;
+    sharded.measurement.threads = 4;
+    const Testbed a(serial), b(sharded);
+    for (phy::NodeId i = 0; i < 24; ++i) {
+      for (phy::NodeId j = 0; j < 24; ++j) {
+        if (i == j) continue;
+        EXPECT_DOUBLE_EQ(a.prr(i, j), b.prr(i, j));
+        EXPECT_DOUBLE_EQ(a.signal_dbm(i, j), b.signal_dbm(i, j));
+      }
+    }
+    EXPECT_DOUBLE_EQ(a.signal_percentile(10), b.signal_percentile(10));
+    EXPECT_DOUBLE_EQ(a.signal_percentile(90), b.signal_percentile(90));
+  }
+}
+
+// ---- TestbedCache ----
+
+TEST(TestbedCache, HitsReturnTheIdenticalInstance) {
+  TestbedCache cache;
+  TestbedConfig cfg;
+  cfg.num_nodes = 12;
+  const auto a = cache.get(cfg);
+  const auto b = cache.get(cfg);
+  EXPECT_EQ(a.get(), b.get());  // same object, not a rebuild
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Any config difference is a distinct entry...
+  TestbedConfig other = cfg;
+  other.seed = 99;
+  const auto c = cache.get(other);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+  TestbedConfig ref_mode = cfg;
+  ref_mode.measurement.mode = MeasurementMode::kReference;
+  EXPECT_NE(cache.get(ref_mode).get(), a.get());
+  EXPECT_EQ(cache.size(), 3u);
+
+  // ...and a re-request of the first config still hits.
+  EXPECT_EQ(cache.get(cfg).get(), a.get());
+  EXPECT_EQ(cache.size(), 3u);
+
+  // The measurement thread knob is result-invariant, so it must hit the
+  // same entry rather than rebuild the building.
+  TestbedConfig threaded = cfg;
+  threaded.measurement.threads = 4;
+  EXPECT_EQ(cache.get(threaded).get(), a.get());
+  EXPECT_EQ(cache.size(), 3u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NE(cache.get(cfg).get(), a.get());  // fresh build after clear
+}
+
+TEST(TestbedCache, GlobalCacheIsSharedAndDeterministic) {
+  TestbedConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = 424242;  // private seed to avoid clashing with other tests
+  const auto a = TestbedCache::global().get(cfg);
+  const auto b = TestbedCache::global().get(cfg);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->size(), 10);
+}
+
+}  // namespace
+}  // namespace cmap::testbed

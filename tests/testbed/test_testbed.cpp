@@ -129,6 +129,30 @@ TEST(Testbed, StrongerSignalMeansHigherPrrOnAverage) {
   EXPECT_GT(strong_sum / strong_n, weak_sum / weak_n + 0.3);
 }
 
+TEST(Testbed, PredicatesMatchRecomputedPercentiles) {
+  // The link predicates now use p10/p90 cached at measurement time; they
+  // must be indistinguishable from recomputing signal_percentile(10/90)
+  // on every call (the old, per-call behaviour).
+  const auto& tb = shared_testbed();
+  const double p10 = tb.signal_percentile(10.0);
+  const double p90 = tb.signal_percentile(90.0);
+  for (phy::NodeId a = 0; a < static_cast<phy::NodeId>(tb.size()); ++a) {
+    for (phy::NodeId b = 0; b < static_cast<phy::NodeId>(tb.size()); ++b) {
+      if (a == b) continue;
+      const bool in_range = tb.prr(a, b) > 0.2 && tb.prr(b, a) > 0.2 &&
+                            tb.signal_dbm(a, b) >= p10 &&
+                            tb.signal_dbm(b, a) >= p10;
+      const bool potential = tb.prr(a, b) > 0.9 && tb.prr(b, a) > 0.9 &&
+                             tb.signal_dbm(a, b) >= p10 &&
+                             tb.signal_dbm(b, a) >= p10;
+      ASSERT_EQ(tb.in_range(a, b), in_range) << a << "," << b;
+      ASSERT_EQ(tb.potential_link(a, b), potential) << a << "," << b;
+      ASSERT_EQ(tb.strong_signal(a, b), tb.signal_dbm(a, b) >= p90)
+          << a << "," << b;
+    }
+  }
+}
+
 class TestbedSeedSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(TestbedSeedSweep, EveryBuildingOffersExperimentMaterial) {

@@ -147,6 +147,40 @@ TEST(Picker, SamplingIsDeterministicPerSeed) {
   EXPECT_FALSE(same_ac && a.size() > 3);
 }
 
+TEST(Picker, InterfererTriplesTerminateOnDegenerateTestbed) {
+  // Two nodes on a tiny floor: they form a potential link, but every
+  // interferer candidate equals the sender or the receiver. The rejection
+  // loop used to spin forever here; it must now give up and return what
+  // it found (nothing).
+  TestbedConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.width_m = 5.0;
+  cfg.height_m = 4.0;
+  // Deterministic symmetric channel: with only two connected signals the
+  // p10 gate interpolates above the weaker one unless both directions are
+  // exactly equal.
+  cfg.prop.shadow_sigma_db = 0.0;
+  cfg.prop.asym_sigma_db = 0.0;
+  Testbed tb(cfg);
+  TopologyPicker picker(tb);
+  sim::Rng rng(9);
+  ASSERT_FALSE(picker.potential_links().empty())
+      << "degenerate fixture needs a link for the loop to spin on";
+  EXPECT_TRUE(picker.interferer_triples(5, rng).empty());
+}
+
+TEST(Picker, NonPositiveCountsYieldEmptySelections) {
+  // A negative count used to be cast to size_t and silently select the
+  // WHOLE candidate pool.
+  const auto& tb = shared_testbed();
+  TopologyPicker picker(tb);
+  sim::Rng rng(10);
+  EXPECT_TRUE(picker.in_range_pairs(-1, rng).empty());
+  EXPECT_TRUE(picker.exposed_pairs(-100, rng).empty());
+  EXPECT_TRUE(picker.hidden_pairs(0, rng).empty());
+  EXPECT_TRUE(picker.interferer_triples(-3, rng).empty());
+}
+
 TEST(Picker, PotentialLinksListMatchesPredicate) {
   const auto& tb = shared_testbed();
   TopologyPicker picker(tb);

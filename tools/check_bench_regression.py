@@ -1,82 +1,139 @@
 #!/usr/bin/env python3
 """Benchmark regression gate for CI.
 
-Compares the BENCH_pr.json emitted by bench_dense_grid (a
-stats::SweepReport with a trailing wall-clock "timing" row) against the
-committed baseline, and optionally checks the fast-path speedup ratios
-from a Google Benchmark JSON produced by bench_micro.
+Compares the timing rows emitted by the bench drivers (stats::SweepReport
+JSONs with a trailing "timing"-scheme row each) against the committed
+baseline, and optionally checks the fast-path speedup ratios from a Google
+Benchmark JSON produced by bench_micro.
 
-Wall-clock comparisons are normalized by the run's own calibration_ms (a
-fixed CPU-bound workload timed on the same machine), so a slower or
-faster CI runner does not masquerade as a code regression; only changes
-relative to the machine's own speed count. The gate fails when a
-normalized timing exceeds baseline * threshold (default 1.25, i.e. >25%
-regression).
+Two timing rows are gated today, matched by scenario name across however
+many --pr files are given:
+  dense_grid_bench       (bench_dense_grid)      — simulation hot path
+  testbed_measure_bench  (bench_testbed_measure) — measurement pass; its
+      measure_speedup metric (fast vs reference mode, both timed in the
+      same process) is enforced as a raw machine-independent minimum.
+
+Wall-clock comparisons (metrics ending in "_ms") are normalized by each
+row's own calibration_ms (a fixed CPU-bound workload timed on the same
+machine), so a slower or faster CI runner does not masquerade as a code
+regression; only changes relative to the machine's own speed count. The
+gate fails when a normalized timing exceeds baseline * threshold (default
+1.25, i.e. >25% regression).
 
 Refresh the baseline after an intentional performance change by re-running
 the CI bench recipe locally (see .github/workflows/ci.yml, job
-bench-regression) and committing the new BENCH_pr.json as
-bench/baselines/BENCH_baseline.json.
+bench-regression) and committing the merged reports as
+bench/baselines/BENCH_baseline.json (the runs arrays concatenated).
 """
 
 import argparse
 import json
 import sys
 
-TIMING_SCENARIO = "dense_grid_bench"
 CALIBRATION_KEY = "calibration_ms"
 # Workload knobs compared for exact equality (not timings): a wall-clock
 # comparison is only meaningful when the PR ran the same workload the
 # baseline did.
-EXACT_KEYS = {"nodes", "configs", "run_seconds", "threads"}
+EXACT_KEYS = {"nodes", "configs", "run_seconds", "threads", "measure_threads"}
+# Metrics enforced as raw minimums (machine-independent ratios measured
+# within one process). Values name the argparse option carrying the bound.
+MIN_KEYS = {"measure_speedup": "min_measure_speedup"}
+# Metrics enforced as fixed minimums: cache_hit is 1.0 when the second
+# TestbedCache request returned the identical instance — a miss is the
+# regression the bench exists to catch, not a diagnostic.
+FIXED_MIN_KEYS = {"cache_hit": 1.0}
+# Non-timing diagnostics: reported, never gated.
+INFO_KEYS = {"max_abs_delta_prr"}
 # Timings whose baseline is shorter than this are reported but not gated:
 # sub-second samples on shared CI runners are dominated by scheduler and
 # cache noise that the calibration ratio cannot correct.
 MIN_GATED_MS = 1000.0
 
 
-def load_timing_row(path):
-    with open(path) as f:
-        report = json.load(f)
-    for run in report.get("runs", []):
-        if run.get("scenario") == TIMING_SCENARIO and run.get("scheme") == "timing":
-            return run.get("metrics", {})
-    sys.exit(f"error: {path} has no '{TIMING_SCENARIO}' timing row")
+def load_timing_rows(paths):
+    """scenario -> metrics, merged across report files."""
+    rows = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        for run in report.get("runs", []):
+            if run.get("scheme") != "timing":
+                continue
+            scenario = run.get("scenario", "?")
+            if scenario in rows:
+                sys.exit(f"error: duplicate timing row for '{scenario}'")
+            rows[scenario] = run.get("metrics", {})
+    if not rows:
+        sys.exit(f"error: no timing rows found in {', '.join(paths)}")
+    return rows
 
 
-def check_timings(pr_path, baseline_path, threshold):
-    pr = load_timing_row(pr_path)
-    base = load_timing_row(baseline_path)
+def check_timing_row(scenario, pr, base, threshold, minimums):
     for key in (CALIBRATION_KEY,):
         if key not in pr or key not in base:
-            sys.exit(f"error: missing {key} in timing rows")
+            sys.exit(f"error: missing {key} in '{scenario}' timing rows")
     pr_calib, base_calib = pr[CALIBRATION_KEY], base[CALIBRATION_KEY]
     if pr_calib <= 0 or base_calib <= 0:
         sys.exit("error: non-positive calibration time")
 
     failures = []
-    for key, base_ms in sorted(base.items()):
+    for key, base_val in sorted(base.items()):
         if key == CALIBRATION_KEY:
             continue
+        label = f"{scenario}/{key}"
         if key not in pr:
-            failures.append(f"{key}: missing from PR report")
+            failures.append(f"{label}: missing from PR report")
             continue
         if key in EXACT_KEYS:
-            if pr[key] != base_ms:
-                failures.append(f"{key}: PR ran with {pr[key]}, baseline {base_ms}"
-                                " (bench knobs must match the baseline)")
+            if pr[key] != base_val:
+                failures.append(f"{label}: PR ran with {pr[key]}, baseline "
+                                f"{base_val} (bench knobs must match the "
+                                "baseline)")
+            continue
+        if key in MIN_KEYS or key in FIXED_MIN_KEYS:
+            minimum = minimums[MIN_KEYS[key]] if key in MIN_KEYS \
+                else FIXED_MIN_KEYS[key]
+            status = "FAIL" if pr[key] < minimum else "ok"
+            print(f"[{status}] {label}: {pr[key]:.1f} "
+                  f"(require >= {minimum:.1f}; baseline {base_val:.1f})")
+            if pr[key] < minimum:
+                failures.append(f"{label}: {pr[key]:.1f} below required "
+                                f"minimum {minimum:.1f}")
+            continue
+        if key in INFO_KEYS or not key.endswith("_ms"):
+            print(f"[info] {label}: {pr[key]:.4f} (baseline {base_val:.4f})")
             continue
         pr_norm = pr[key] / pr_calib
-        base_norm = base_ms / base_calib
+        base_norm = base_val / base_calib
         ratio = pr_norm / base_norm if base_norm > 0 else float("inf")
-        gated = base_ms >= MIN_GATED_MS
+        gated = base_val >= MIN_GATED_MS
         status = "FAIL" if gated and ratio > threshold else \
             ("ok" if gated else "info")
-        print(f"[{status}] {key}: {pr[key]:.0f} ms (norm {pr_norm:.2f}) vs "
-              f"baseline {base_ms:.0f} ms (norm {base_norm:.2f}) -> x{ratio:.3f}")
+        print(f"[{status}] {label}: {pr[key]:.0f} ms (norm {pr_norm:.2f}) vs "
+              f"baseline {base_val:.0f} ms (norm {base_norm:.2f}) "
+              f"-> x{ratio:.3f}")
         if gated and ratio > threshold:
-            failures.append(f"{key}: normalized runtime x{ratio:.3f} exceeds "
-                            f"threshold x{threshold:.2f}")
+            failures.append(f"{label}: normalized runtime x{ratio:.3f} "
+                            f"exceeds threshold x{threshold:.2f}")
+    return failures
+
+
+def check_timings(pr_paths, baseline_path, threshold, minimums):
+    pr_rows = load_timing_rows(pr_paths)
+    base_rows = load_timing_rows([baseline_path])
+    failures = []
+    for scenario, base in sorted(base_rows.items()):
+        if scenario not in pr_rows:
+            failures.append(f"{scenario}: timing row missing from PR reports")
+            continue
+        failures += check_timing_row(scenario, pr_rows[scenario], base,
+                                     threshold, minimums)
+    # A PR row with no baseline counterpart would otherwise be silently
+    # ungated — the exact mistake (new bench wired into CI, baseline not
+    # regenerated) this gate exists to catch.
+    for scenario in sorted(set(pr_rows) - set(base_rows)):
+        failures.append(f"{scenario}: PR timing row has no baseline entry "
+                        "(regenerate bench/baselines/BENCH_baseline.json)")
     return failures
 
 
@@ -112,17 +169,22 @@ def check_micro(micro_path, min_speedup):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--pr", required=True, help="BENCH_pr.json from this run")
+    ap.add_argument("--pr", required=True, action="append",
+                    help="bench report JSON from this run (repeatable)")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline BENCH JSON")
+                    help="committed baseline BENCH JSON (all timing rows)")
     ap.add_argument("--micro", help="bench_micro --benchmark_out JSON")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="allowed normalized-runtime ratio (default 1.25)")
     ap.add_argument("--min-speedup", type=float, default=5.0,
                     help="required fast-vs-brute speedup (default 5.0)")
+    ap.add_argument("--min-measure-speedup", type=float, default=10.0,
+                    help="required measurement fast-vs-reference speedup "
+                         "(default 10.0)")
     args = ap.parse_args()
 
-    failures = check_timings(args.pr, args.baseline, args.threshold)
+    minimums = {"min_measure_speedup": args.min_measure_speedup}
+    failures = check_timings(args.pr, args.baseline, args.threshold, minimums)
     if args.micro:
         failures += check_micro(args.micro, args.min_speedup)
     if failures:
