@@ -18,6 +18,45 @@ constexpr sim::Time kBusyRetry = 250 * sim::kNsPerUs;
 
 }  // namespace
 
+DeferDecision DeferDecider::decide(phy::NodeId dst, phy::WifiRate my_rate,
+                                   sim::Time now) const {
+  DeferDecision d;
+  sim::Time until = sim::kTimeForever;
+  ongoing_.for_each_active(now, [&](const OngoingTx& tx) {
+    if (tx.src == self_) return;  // never defer to ourselves
+    const bool dst_busy = tx.src == dst || tx.dst == dst;
+    const phy::WifiRate their_rate =
+        annotate_rates_ ? tx.data_rate : kAnyRate;
+    if (dst_busy ||
+        table_.should_defer(dst, tx.src, tx.dst, now, my_rate, their_rate)) {
+      d.defer = true;
+      until = std::min(until, tx.end_time);
+    }
+  });
+  if (d.defer) d.until = until;
+  return d;
+}
+
+DeferDecision DeferDecider::decide_reference(phy::NodeId dst,
+                                             phy::WifiRate my_rate,
+                                             sim::Time now) const {
+  DeferDecision d;
+  sim::Time until = sim::kTimeForever;
+  for (const OngoingTx& tx : ongoing_.active(now)) {
+    if (tx.src == self_) continue;  // never defer to ourselves
+    const phy::WifiRate their_rate =
+        annotate_rates_ ? tx.data_rate : kAnyRate;
+    if (tx.src == dst || tx.dst == dst ||
+        table_.should_defer_reference(dst, tx.src, tx.dst, now, my_rate,
+                                      their_rate)) {
+      d.defer = true;
+      until = std::min(until, tx.end_time);
+    }
+  }
+  if (d.defer) d.until = until;
+  return d;
+}
+
 double CmapMac::PerSenderRx::window_loss_rate() const {
   double expected = 0, got = 0;
   for (const auto& vp : recent_vps) {
@@ -71,7 +110,12 @@ void CmapMac::try_send() {
     return;
   }
   const sim::Time now = sim_.now();
-  ongoing_.expire(now);
+  // The fast decision path reclaims expired ongoing entries lazily as it
+  // walks; the reference path's snapshot never reclaims, so give it the
+  // pre-index eager sweep to keep its memory behavior faithful too.
+  if (config_.decision_mode == DecisionMode::kReference) {
+    ongoing_.expire(now);
+  }
 
   // Pick the destination we would serve next.
   phy::NodeId dst = 0;
@@ -132,22 +176,12 @@ bool CmapMac::check_defer(phy::NodeId dst, sim::Time* recheck_at) {
   const sim::Time now = sim_.now();
   const phy::WifiRate my_rate =
       config_.annotate_rates ? config_.data_rate : kAnyRate;
-  bool defer = false;
-  sim::Time until = sim::kTimeForever;
-  for (const auto& tx : ongoing_.active(now)) {
-    if (tx.src == radio_.id()) continue;  // never defer to ourselves
-    const bool dst_busy = tx.src == dst || tx.dst == dst;
-    const phy::WifiRate their_rate =
-        config_.annotate_rates ? tx.data_rate : kAnyRate;
-    if (dst_busy ||
-        defer_table_.should_defer(dst, tx.src, tx.dst, now, my_rate,
-                                  their_rate)) {
-      defer = true;
-      until = std::min(until, tx.end_time);
-    }
-  }
-  if (defer) *recheck_at = until + config_.t_deferwait;
-  return defer;
+  const DeferDecider d = decider();
+  const DeferDecision decision = config_.decision_mode == DecisionMode::kFast
+                                     ? d.decide(dst, my_rate, now)
+                                     : d.decide_reference(dst, my_rate, now);
+  if (decision.defer) *recheck_at = decision.until + config_.t_deferwait;
+  return decision.defer;
 }
 
 void CmapMac::start_vp(phy::NodeId dst) {

@@ -34,6 +34,44 @@
 
 namespace cmap::core {
 
+/// Outcome of one "may I send to v at rate r now?" consultation (§3.2).
+struct DeferDecision {
+  bool defer = false;
+  /// Earliest end time among the transmissions that forced the deferral
+  /// (the moment the decision is worth re-asking). Valid only when defer.
+  sim::Time until = 0;
+};
+
+/// The CMAP send decision as one pass: for every live ongoing transmission
+/// p -> q, defer if the destination is a party to it or if this node's
+/// slice of the conflict map holds a matching defer pattern. The fast path
+/// (decide) iterates the ongoing ring allocation-free and answers each
+/// conflict-map question with two indexed bucket probes — O(active
+/// conflicts) per transmit attempt. decide_reference replays the original
+/// snapshot-and-scan (OngoingList::active + DeferTable::
+/// should_defer_reference), retained as the oracle the fast path is tested
+/// byte-identical against; CmapConfig::decision_mode selects between them.
+class DeferDecider {
+ public:
+  DeferDecider(const OngoingList& ongoing, const DeferTable& table,
+               phy::NodeId self, bool annotate_rates)
+      : ongoing_(ongoing),
+        table_(table),
+        self_(self),
+        annotate_rates_(annotate_rates) {}
+
+  DeferDecision decide(phy::NodeId dst, phy::WifiRate my_rate,
+                       sim::Time now) const;
+  DeferDecision decide_reference(phy::NodeId dst, phy::WifiRate my_rate,
+                                 sim::Time now) const;
+
+ private:
+  const OngoingList& ongoing_;
+  const DeferTable& table_;
+  phy::NodeId self_;
+  bool annotate_rates_;
+};
+
 class CmapMac final : public mac::Mac, public phy::RadioListener {
  public:
   CmapMac(sim::Simulator& simulator, phy::Radio& radio, CmapConfig config,
@@ -68,6 +106,11 @@ class CmapMac final : public mac::Mac, public phy::RadioListener {
   // Introspection (examples dump these as the conflict map converges).
   const DeferTable& defer_table() const { return defer_table_; }
   const OngoingList& ongoing_list() const { return ongoing_; }
+  /// The decision engine over this MAC's live conflict-map state.
+  DeferDecider decider() const {
+    return DeferDecider(ongoing_, defer_table_, radio_.id(),
+                        config_.annotate_rates);
+  }
   const InterfererTracker& interferer_tracker() const { return tracker_; }
   const LossBackoff& loss_backoff() const { return backoff_; }
   const CmapConfig& config() const { return config_; }

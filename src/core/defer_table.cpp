@@ -3,21 +3,87 @@
 #include <algorithm>
 
 namespace cmap::core {
+namespace {
+
+void remove_from_bucket(std::vector<std::uint32_t>& bucket,
+                        std::uint32_t idx) {
+  const auto it = std::find(bucket.begin(), bucket.end(), idx);
+  if (it == bucket.end()) return;
+  *it = bucket.back();  // order within a bucket carries no meaning
+  bucket.pop_back();
+}
+
+}  // namespace
 
 bool DeferTable::rate_matches(phy::WifiRate entry_rate, phy::WifiRate rate) {
   return entry_rate == kAnyRate || rate == kAnyRate || entry_rate == rate;
 }
 
+DeferTable::Bucket* DeferTable::primary_bucket(const DeferEntry& e) {
+  // Every entry the update rules produce has at least one wildcard; the
+  // primary bucket is where exact duplicates of it are guaranteed to live.
+  if (e.dst == phy::kBroadcastId) return &by_src_via_[pair_key(e.src, e.via)];
+  if (e.via == phy::kBroadcastId) return &by_dst_src_[pair_key(e.dst, e.src)];
+  return &unmatched_;
+}
+
+void DeferTable::link(std::uint32_t idx) const {
+  const DeferEntry& e = slots_[idx].e;
+  if (e.dst == phy::kBroadcastId) {
+    by_src_via_[pair_key(e.src, e.via)].push_back(idx);
+  }
+  if (e.via == phy::kBroadcastId) {
+    by_dst_src_[pair_key(e.dst, e.src)].push_back(idx);
+  }
+  if (e.dst != phy::kBroadcastId && e.via != phy::kBroadcastId) {
+    unmatched_.push_back(idx);
+  }
+}
+
+void DeferTable::unlink(std::uint32_t idx) const {
+  Slot& s = slots_[idx];
+  if (s.e.dst == phy::kBroadcastId) {
+    const auto it = by_src_via_.find(pair_key(s.e.src, s.e.via));
+    if (it != by_src_via_.end()) remove_from_bucket(it->second, idx);
+  }
+  if (s.e.via == phy::kBroadcastId) {
+    const auto it = by_dst_src_.find(pair_key(s.e.dst, s.e.src));
+    if (it != by_dst_src_.end()) remove_from_bucket(it->second, idx);
+  }
+  if (s.e.dst != phy::kBroadcastId && s.e.via != phy::kBroadcastId) {
+    remove_from_bucket(unmatched_, idx);
+  }
+  s.live = false;
+  free_.push_back(idx);
+  --live_count_;
+}
+
 void DeferTable::upsert(DeferEntry e) {
-  for (auto& existing : entries_) {
+  // An exact duplicate (same key fields including rates) refreshes the
+  // existing entry's TTL in place — whether or not it has lapsed — so
+  // re-reported conflicts never grow the table.
+  Bucket* primary = primary_bucket(e);
+  for (std::uint32_t idx : *primary) {
+    DeferEntry& existing = slots_[idx].e;
     if (existing.dst == e.dst && existing.src == e.src &&
         existing.via == e.via && existing.my_rate == e.my_rate &&
         existing.their_rate == e.their_rate) {
-      existing.expires = e.expires;  // refresh
+      existing.expires = e.expires;
       return;
     }
   }
-  entries_.push_back(e);
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[idx].e = e;
+  slots_[idx].live = true;
+  ++live_count_;
+  link(idx);
 }
 
 void DeferTable::apply_interferer_list(
@@ -52,11 +118,51 @@ void DeferTable::apply_interferer_list(
   }
 }
 
+bool DeferTable::probe(Index& index, std::uint64_t key, sim::Time now,
+                       phy::WifiRate my_rate,
+                       phy::WifiRate their_rate) const {
+  const auto it = index.find(key);
+  if (it == index.end()) return false;
+  Bucket& bucket = it->second;
+  std::size_t i = 0;
+  while (i < bucket.size()) {
+    const std::uint32_t idx = bucket[i];
+    const DeferEntry& e = slots_[idx].e;
+    if (e.expires <= now) {
+      // Lazy TTL reclamation: unlink swap-pops idx out of this bucket (and
+      // its sibling, for dual-wildcard entries), so i now names the entry
+      // that was at the back — do not advance.
+      unlink(idx);
+      continue;
+    }
+    if (rate_matches(e.my_rate, my_rate) &&
+        rate_matches(e.their_rate, their_rate)) {
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
 bool DeferTable::should_defer(phy::NodeId my_dst, phy::NodeId p,
                               phy::NodeId q, sim::Time now,
                               phy::WifiRate my_rate,
                               phy::WifiRate their_rate) const {
-  for (const auto& e : entries_) {
+  // Defer pattern 1: (* : p -> q).
+  if (probe(by_src_via_, pair_key(p, q), now, my_rate, their_rate)) {
+    return true;
+  }
+  // Defer pattern 2: (v : p -> *).
+  return probe(by_dst_src_, pair_key(my_dst, p), now, my_rate, their_rate);
+}
+
+bool DeferTable::should_defer_reference(phy::NodeId my_dst, phy::NodeId p,
+                                        phy::NodeId q, sim::Time now,
+                                        phy::WifiRate my_rate,
+                                        phy::WifiRate their_rate) const {
+  for (const Slot& s : slots_) {
+    if (!s.live) continue;
+    const DeferEntry& e = s.e;
     if (e.expires <= now) continue;
     if (!rate_matches(e.my_rate, my_rate) ||
         !rate_matches(e.their_rate, their_rate)) {
@@ -73,8 +179,18 @@ bool DeferTable::should_defer(phy::NodeId my_dst, phy::NodeId p,
 }
 
 void DeferTable::expire(sim::Time now) {
-  std::erase_if(entries_,
-                [now](const DeferEntry& e) { return e.expires <= now; });
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    if (slots_[idx].live && slots_[idx].e.expires <= now) unlink(idx);
+  }
+}
+
+std::vector<DeferEntry> DeferTable::entries() const {
+  std::vector<DeferEntry> out;
+  out.reserve(live_count_);
+  for (const Slot& s : slots_) {
+    if (s.live) out.push_back(s.e);
+  }
+  return out;
 }
 
 }  // namespace cmap::core

@@ -13,9 +13,19 @@
 // Entries age out (defer_entry_ttl) so the map tracks changing channels.
 // With rate annotation enabled (§3.5) entries only match transmissions at
 // the rates under which the conflict was observed.
+//
+// Lookup is the MAC's per-transmit-attempt hot path, so entries live in a
+// slot pool indexed by two hash buckets that mirror the defer patterns:
+// wildcard-destination entries (* : p -> q) under key (src, via) and
+// wildcard-via entries (v : p -> *) under key (dst, src). should_defer is
+// then two bucket probes instead of a scan of the whole table, and expired
+// entries are reclaimed lazily as probes touch them. The original linear
+// scan is retained as should_defer_reference — the oracle the fast path is
+// tested equivalent against (same pattern as phy::evaluate_reference).
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/wire.h"
@@ -39,28 +49,73 @@ class DeferTable {
       : ttl_(ttl), annotate_rates_(annotate_rates) {}
 
   /// Apply both update rules for an interferer list received from
-  /// `reporter`. `self` is this node's id.
+  /// `reporter`. `self` is this node's id. Re-reported conflicts refresh
+  /// the existing entry's TTL; the table never grows on duplicates.
   void apply_interferer_list(phy::NodeId self, phy::NodeId reporter,
                              const std::vector<InterfererEntry>& entries,
                              sim::Time now);
 
   /// Should a transmission to `my_dst` at `my_rate` defer to the ongoing
-  /// transmission p -> q at `their_rate`? Checks both defer patterns.
+  /// transmission p -> q at `their_rate`? Checks both defer patterns via
+  /// the bucket indexes; expired entries touched by the probe are
+  /// reclaimed in passing (lazy TTL expiry).
   bool should_defer(phy::NodeId my_dst, phy::NodeId p, phy::NodeId q,
                     sim::Time now, phy::WifiRate my_rate = kAnyRate,
                     phy::WifiRate their_rate = kAnyRate) const;
 
+  /// The original O(size) scan over every live entry, kept as the oracle
+  /// for the indexed fast path. Never mutates (no lazy reclamation).
+  bool should_defer_reference(phy::NodeId my_dst, phy::NodeId p,
+                              phy::NodeId q, sim::Time now,
+                              phy::WifiRate my_rate = kAnyRate,
+                              phy::WifiRate their_rate = kAnyRate) const;
+
+  /// Eagerly drop every expired entry (lazy reclamation makes this
+  /// optional; it is kept for callers that want memory bounded at a known
+  /// point, e.g. once per interferer-list application).
   void expire(sim::Time now);
-  std::size_t size() const { return entries_.size(); }
-  const std::vector<DeferEntry>& entries() const { return entries_; }
+
+  /// Live entries (expired entries linger until a probe or expire() call
+  /// reclaims them, exactly like the pre-index representation).
+  std::size_t size() const { return live_count_; }
+
+  /// Snapshot of the live entries, for introspection and tests. Order is
+  /// unspecified (slot order, which recycling perturbs).
+  std::vector<DeferEntry> entries() const;
 
  private:
-  void upsert(DeferEntry e);
+  using Bucket = std::vector<std::uint32_t>;  // slot indices
+  using Index = std::unordered_map<std::uint64_t, Bucket>;
+
+  struct Slot {
+    DeferEntry e;
+    bool live = false;
+  };
+
+  /// NodeIds are 32-bit, so a pair packs losslessly into the map key.
+  static std::uint64_t pair_key(phy::NodeId a, phy::NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
   static bool rate_matches(phy::WifiRate entry_rate, phy::WifiRate rate);
+
+  void upsert(DeferEntry e);
+  void link(std::uint32_t idx) const;
+  void unlink(std::uint32_t idx) const;
+  Bucket* primary_bucket(const DeferEntry& e);
+  bool probe(Index& index, std::uint64_t key, sim::Time now,
+             phy::WifiRate my_rate, phy::WifiRate their_rate) const;
 
   sim::Time ttl_;
   bool annotate_rates_;
-  std::vector<DeferEntry> entries_;
+  // Mutable: should_defer is logically const but reclaims expired entries
+  // it touches. The table is owned by one CmapMac on one simulation
+  // thread, so this is not a concurrency hazard.
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_;
+  mutable Index by_src_via_;  // entries with dst == *  (defer pattern 1)
+  mutable Index by_dst_src_;  // entries with via == *  (defer pattern 2)
+  mutable Bucket unmatched_;  // neither wildcard: can never match a pattern
+  mutable std::size_t live_count_ = 0;
 };
 
 }  // namespace cmap::core

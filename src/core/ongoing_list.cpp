@@ -1,46 +1,111 @@
 #include "core/ongoing_list.h"
 
-#include <algorithm>
-
 namespace cmap::core {
 
 void OngoingList::note(const VpDescriptor& d, sim::Time end_time) {
-  for (auto& e : entries_) {
-    if (e.src == d.src && e.dst == d.dst) {
-      e.end_time = end_time;
-      e.data_rate = d.data_rate;
+  CMAP_ASSERT(!walking_, "note() during an OngoingList walk");
+  // A pair already on the ring — expired or not — is updated in place,
+  // exactly as the flat-vector representation did.
+  for (std::uint32_t idx = head_; idx != kNil; idx = slots_[idx].next) {
+    OngoingTx& tx = slots_[idx].tx;
+    if (tx.src == d.src && tx.dst == d.dst) {
+      tx.end_time = end_time;
+      tx.data_rate = d.data_rate;
       return;
     }
   }
-  entries_.push_back(OngoingTx{d.src, d.dst, end_time, d.data_rate});
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Node& n = slots_[idx];
+  n.tx = OngoingTx{d.src, d.dst, end_time, d.data_rate};
+  n.prev = tail_;
+  n.next = kNil;
+  if (tail_ != kNil) {
+    slots_[tail_].next = idx;
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+  ++live_count_;
+}
+
+void OngoingList::release(std::uint32_t idx) const {
+  Node& n = slots_[idx];
+  if (n.prev != kNil) {
+    slots_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    slots_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = kNil;
+  n.next = free_head_;
+  free_head_ = idx;
+  --live_count_;
 }
 
 bool OngoingList::node_busy(phy::NodeId node, sim::Time now) const {
-  for (const auto& e : entries_) {
-    if (e.end_time > now && (e.src == node || e.dst == node)) return true;
+  const WalkGuard guard(walking_);
+  bool busy = false;
+  std::uint32_t idx = head_;
+  while (idx != kNil) {
+    Node& n = slots_[idx];
+    const std::uint32_t next = n.next;
+    if (n.tx.end_time <= now) {
+      release(idx);
+    } else if (n.tx.src == node || n.tx.dst == node) {
+      busy = true;
+      break;
+    }
+    idx = next;
   }
-  return false;
+  return busy;
 }
 
 std::vector<OngoingTx> OngoingList::active(sim::Time now) const {
   std::vector<OngoingTx> out;
-  for (const auto& e : entries_) {
-    if (e.end_time > now) out.push_back(e);
+  for (std::uint32_t idx = head_; idx != kNil; idx = slots_[idx].next) {
+    if (slots_[idx].tx.end_time > now) out.push_back(slots_[idx].tx);
   }
   return out;
 }
 
 sim::Time OngoingList::end_of(phy::NodeId src, phy::NodeId dst,
                               sim::Time now) const {
-  for (const auto& e : entries_) {
-    if (e.src == src && e.dst == dst && e.end_time > now) return e.end_time;
+  const WalkGuard guard(walking_);
+  sim::Time end = 0;
+  std::uint32_t idx = head_;
+  while (idx != kNil) {
+    Node& n = slots_[idx];
+    const std::uint32_t next = n.next;
+    if (n.tx.end_time <= now) {
+      release(idx);
+    } else if (n.tx.src == src && n.tx.dst == dst) {
+      end = n.tx.end_time;
+      break;
+    }
+    idx = next;
   }
-  return 0;
+  return end;
 }
 
 void OngoingList::expire(sim::Time now) {
-  std::erase_if(entries_,
-                [now](const OngoingTx& e) { return e.end_time <= now; });
+  const WalkGuard guard(walking_);
+  std::uint32_t idx = head_;
+  while (idx != kNil) {
+    const std::uint32_t next = slots_[idx].next;
+    if (slots_[idx].tx.end_time <= now) release(idx);
+    idx = next;
+  }
 }
 
 }  // namespace cmap::core

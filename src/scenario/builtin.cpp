@@ -517,6 +517,35 @@ Scenario make_testbed_family(int nodes) {
   return s;
 }
 
+// ---- NEW: flows_50/100/200 — MAC-decision high-concurrency family ----
+//
+// Exactly N concurrent flows on a canonical 2N-node building: half the
+// floor transmits at once, each sender saturating a flow to its best-PRR
+// neighbor. This is the regime where the CMAP send decision — conflict-map
+// consultation on every transmit attempt — dominates the simulation loop;
+// the decision-fastpath golden test and bench_mac_decide run on it. Like
+// the testbed_* family, the building is prescribed via Scenario::testbed
+// and resolved through the global TestbedCache.
+
+Scenario make_flows_family(int flows) {
+  // make_dense_grid with 50% senders on a 2N-node floor draws exactly N
+  // distinct senders per topology instance.
+  Scenario s = make_dense_grid("flows_" + std::to_string(flows), 50);
+  char desc[128];
+  std::snprintf(desc, sizeof(desc),
+                "%d concurrent best-PRR flows on a canonical %d-node "
+                "building (MAC decision stress; TestbedCache-resolved)",
+                flows, 2 * flows);
+  s.description = desc;
+  testbed::TestbedConfig cfg;
+  cfg.num_nodes = 2 * flows;
+  const double scale = std::sqrt(2.0 * flows / 50.0);
+  cfg.width_m = 70.0 * scale;
+  cfg.height_m = 40.0 * scale;
+  s.testbed = cfg;
+  return s;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -550,6 +579,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   }
   for (int nodes : {100, 200, 400}) {
     registry.add(make_testbed_family(nodes));
+  }
+  for (int flows : {50, 100, 200}) {
+    registry.add(make_flows_family(flows));
   }
 }
 

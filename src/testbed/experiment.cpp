@@ -55,6 +55,7 @@ void World::add_node(phy::NodeId id) {
     cc.data_rate = config_.data_rate;
     cc.per_dest_queues = config_.per_dest_queues;
     cc.annotate_rates = config_.annotate_rates;
+    cc.decision_mode = config_.decision_mode;
     st.mac = std::make_unique<core::CmapMac>(sim_, *st.radio, cc,
                                              rng_.substream(0x3ac, id));
   } else {

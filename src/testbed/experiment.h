@@ -45,6 +45,9 @@ struct RunConfig {
   std::size_t packet_bytes = 1400;
   bool per_dest_queues = false;  // §3.2 optimization (CMAP only)
   bool annotate_rates = false;   // §3.5 extension (CMAP only)
+  // Send-decision implementation (CMAP only): the indexed fast path, or
+  // the retained reference scan it is golden-tested against.
+  core::DecisionMode decision_mode = core::DecisionMode::kFast;
   std::optional<int> cmap_nvpkt;    // override Nvpkt
   std::optional<int> cmap_nwindow;  // override Nwindow (in VPs)
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/random.h"
 #include "sim/time.h"
 
 namespace cmap::core {
@@ -121,6 +122,101 @@ TEST(DeferTableRates, UnannotatedTableIgnoresRates) {
   t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
   EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther, 1,
                              phy::WifiRate::k18Mbps, phy::WifiRate::k54Mbps));
+}
+
+// ---- upsert duplicate-key refresh semantics ----
+
+TEST(DeferTableUpsert, RepeatedReportsRefreshTtlWithoutGrowth) {
+  DeferTable t(sim::seconds(10));
+  // The same conflict re-reported 50 times across 50 seconds: one entry,
+  // TTL rolling forward each time. (Queries stay strictly inside the TTL
+  // so every round exercises the in-place refresh, not reclaim+insert.)
+  sim::Time now = 0;
+  for (int round = 0; round < 50; ++round) {
+    now = sim::seconds(round);
+    t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, now);
+    ASSERT_EQ(t.size(), 1u) << "round " << round;
+    // Live right up to (but excluding) the refreshed expiry.
+    EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther,
+                               now + sim::seconds(10) - 1));
+  }
+  // The final refresh ages out at exactly now + TTL.
+  EXPECT_FALSE(t.should_defer(kReporter, kInterferer, kOther,
+                              now + sim::seconds(10)));
+  EXPECT_EQ(t.entries().size(), 0u);  // ...and that probe reclaimed it
+}
+
+TEST(DeferTableUpsert, RefreshAppliesToLapsedEntriesToo) {
+  // A conflict re-reported after its entry lapsed (but before anything
+  // reclaimed it) must refresh in place, not duplicate.
+  DeferTable t(sim::seconds(10));
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)}, 0);
+  t.apply_interferer_list(kMe, kReporter, {entry(kMe, kInterferer)},
+                          sim::seconds(30));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.should_defer(kReporter, kInterferer, kOther,
+                             sim::seconds(35)));
+}
+
+TEST(DeferTableUpsert, DistinctRateAnnotationsAreDistinctEntries) {
+  DeferTable t(sim::seconds(10), /*annotate_rates=*/true);
+  InterfererEntry a = entry(kMe, kInterferer);
+  a.source_rate = phy::WifiRate::k6Mbps;
+  a.interferer_rate = phy::WifiRate::k12Mbps;
+  InterfererEntry b = a;
+  b.source_rate = phy::WifiRate::k18Mbps;  // different conflict-map cell
+  t.apply_interferer_list(kMe, kReporter, {a, b}, 0);
+  EXPECT_EQ(t.size(), 2u);
+  // Re-reporting both refreshes; the table stays at two entries.
+  t.apply_interferer_list(kMe, kReporter, {a, b}, sim::seconds(5));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(DeferTableUpsert, SizeBoundedByDistinctConflictsUnderChurn) {
+  // Invariant: however often lists are (re)applied, the table never holds
+  // more than the number of distinct (dst, src, via, rates) conflicts.
+  DeferTable t(sim::seconds(5));
+  sim::Rng rng(0xb0b);
+  constexpr int kReporters = 3;
+  constexpr int kInterferers = 4;
+  // Distinct rule-1 entries possible: kReporters * kInterferers. Each list
+  // also fires rule 2 when the interferer is kMe — excluded by id choice.
+  const std::size_t bound = kReporters * kInterferers;
+  for (int op = 0; op < 500; ++op) {
+    const auto reporter =
+        static_cast<phy::NodeId>(100 + rng.uniform_int(0, kReporters - 1));
+    const auto interferer =
+        static_cast<phy::NodeId>(200 + rng.uniform_int(0, kInterferers - 1));
+    const sim::Time now = sim::milliseconds(op * 37);
+    t.apply_interferer_list(kMe, reporter, {entry(kMe, interferer)}, now);
+    ASSERT_LE(t.size(), bound) << "op " << op;
+  }
+}
+
+// ---- fast path vs retained reference scan ----
+
+TEST(DeferTableOracle, FastAndReferenceAgreeOnAllPatternCombinations) {
+  DeferTable t(sim::seconds(10));
+  const phy::NodeId u = 5;
+  t.apply_interferer_list(
+      kMe, kReporter, {entry(kMe, kInterferer), entry(u, kMe)}, 0);
+  const phy::NodeId ids[] = {kMe, kReporter, kInterferer, kOther, u, 42,
+                             phy::kBroadcastId};
+  // Time ascends in the OUTER loop: the fast path reclaims expired entries
+  // as it probes, so a query in the past after one in the future would
+  // silently drop coverage (both paths would agree on an emptied table).
+  for (sim::Time now : {sim::Time{1}, sim::seconds(10) - 1, sim::seconds(10),
+                        sim::seconds(11)}) {
+    for (phy::NodeId my_dst : ids) {
+      for (phy::NodeId p : ids) {
+        for (phy::NodeId q : ids) {
+          EXPECT_EQ(t.should_defer_reference(my_dst, p, q, now),
+                    t.should_defer(my_dst, p, q, now))
+              << my_dst << " " << p << " " << q << " @" << now;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

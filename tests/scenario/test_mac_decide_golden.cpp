@@ -1,0 +1,96 @@
+// Golden-report exactness of the MAC decision fast path: sweeps run with
+// CmapConfig::decision_mode == kFast (indexed defer table, intrusive
+// ongoing ring, one-pass DeferDecider) must produce reports BYTE-identical
+// to the same sweeps under kReference (the retained snapshot-and-scan
+// oracle). This is what licenses the optimization: it is an indexing of
+// the same decision procedure, not an approximation — any divergence in
+// any defer decision would cascade into different timings, throughputs,
+// and therefore different report bytes. Mirrors test_fastpath_golden.cpp
+// (the PHY fast path's equivalent guarantee).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/config.h"
+#include "scenario/sweep.h"
+#include "stats/report.h"
+#include "testbed/testbed.h"
+
+namespace cmap::scenario {
+namespace {
+
+Sweep make_sweep(const char* scenario, core::DecisionMode mode,
+                 std::vector<testbed::Scheme> schemes, int topologies,
+                 sim::Time duration) {
+  Sweep sweep;
+  sweep.scenario = scenario;
+  sweep.schemes = std::move(schemes);
+  // The decision mode rides in an unlabeled variant so the two reports
+  // differ in nothing but the code path under test (same seeds, same
+  // variant index, same empty label).
+  sweep.variants = {{"", [mode](testbed::RunConfig& c) {
+                       c.decision_mode = mode;
+                     }}};
+  sweep.topologies = topologies;
+  sweep.duration = duration;
+  sweep.warmup = duration / 4;
+  return sweep;
+}
+
+class MacDecideGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MacDecideGolden, FigureSweepReportIsByteIdentical) {
+  const testbed::Testbed tb{testbed::TestbedConfig{}};
+  const std::vector<testbed::Scheme> schemes = {
+      testbed::Scheme::kCmap, testbed::Scheme::kCmapIntegrated};
+  const std::string fast =
+      SweepRunner(1)
+          .run(make_sweep(GetParam(), core::DecisionMode::kFast, schemes, 3,
+                          sim::seconds(2)),
+               tb)
+          .to_json();
+  const std::string reference =
+      SweepRunner(1)
+          .run(make_sweep(GetParam(), core::DecisionMode::kReference, schemes,
+                          3, sim::seconds(2)),
+               tb)
+          .to_json();
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(FigureBenches, MacDecideGolden,
+                         ::testing::Values("fig12_exposed", "fig15_hidden"));
+
+TEST(MacDecideGoldenFlows, HighConcurrencySweepReportIsByteIdentical) {
+  // flows_50: 50 concurrent flows on the canonical 100-node building —
+  // the decision path under real load (resolved via the TestbedCache, so
+  // the two runs share one measurement pass). CMAP with per-destination
+  // queues exercises the multi-destination decision scan as well.
+  auto with_queues = [](Sweep sweep) {
+    auto base = sweep.variants[0].apply;
+    sweep.variants[0].apply = [base](testbed::RunConfig& c) {
+      base(c);
+      c.per_dest_queues = true;
+    };
+    return sweep;
+  };
+  const std::string fast =
+      SweepRunner(1)
+          .run(with_queues(make_sweep("flows_50", core::DecisionMode::kFast,
+                                      {testbed::Scheme::kCmap}, 2,
+                                      sim::seconds(1))))
+          .to_json();
+  const std::string reference =
+      SweepRunner(1)
+          .run(with_queues(make_sweep("flows_50",
+                                      core::DecisionMode::kReference,
+                                      {testbed::Scheme::kCmap}, 2,
+                                      sim::seconds(1))))
+          .to_json();
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, reference);
+}
+
+}  // namespace
+}  // namespace cmap::scenario
