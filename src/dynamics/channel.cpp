@@ -1,0 +1,64 @@
+#include "dynamics/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.h"
+#include "sim/random.h"
+
+namespace cmap::dynamics {
+namespace {
+
+std::uint64_t pair_key(phy::NodeId from, phy::NodeId to) {
+  const phy::NodeId lo = std::min(from, to);
+  const phy::NodeId hi = std::max(from, to);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
+}
+
+}  // namespace
+
+DynamicShadowing::DynamicShadowing(
+    std::shared_ptr<const phy::PropagationModel> base, ChannelConfig config)
+    : base_(std::move(base)), config_(config) {
+  CMAP_ASSERT(base_ != nullptr, "DynamicShadowing needs a base model");
+  CMAP_ASSERT(config_.correlation >= 0.0 && config_.correlation < 1.0,
+              "channel correlation must be in [0, 1)");
+  innovation_scale_ =
+      config_.sigma_db *
+      std::sqrt(1.0 - config_.correlation * config_.correlation);
+}
+
+double DynamicShadowing::offset_db(phy::NodeId from, phy::NodeId to) const {
+  if (config_.sigma_db <= 0.0) return 0.0;
+  const std::uint64_t key = pair_key(from, to);
+  const std::uint64_t stream = sim::mix64(config_.seed ^ sim::mix64(key));
+  const auto [it, inserted] = states_.try_emplace(key);
+  PairState& st = it->second;
+  if (inserted) {
+    // First sight of this pair: draw the stationary epoch-0 offset.
+    st.offset = config_.sigma_db * sim::hash_normal(stream);
+  }
+  // Replay the AR(1) recursion up to the current epoch. Steady operation
+  // advances one epoch at a time, so this loop is O(1) per link per epoch;
+  // a pair first queried late replays its whole history once, landing on
+  // exactly the value an early query would have reached.
+  while (st.epoch < epoch_) {
+    ++st.epoch;
+    st.offset =
+        config_.correlation * st.offset +
+        innovation_scale_ *
+            sim::hash_normal(stream ^ sim::mix64(static_cast<std::uint64_t>(
+                                          st.epoch)));
+  }
+  return st.offset;
+}
+
+double DynamicShadowing::rx_power_dbm(double tx_power_dbm, phy::NodeId from,
+                                      phy::NodeId to,
+                                      const phy::Position& from_pos,
+                                      const phy::Position& to_pos) const {
+  return base_->rx_power_dbm(tx_power_dbm, from, to, from_pos, to_pos) +
+         offset_db(from, to);
+}
+
+}  // namespace cmap::dynamics

@@ -1,0 +1,73 @@
+// Slowly-evolving channel: a per-link AR(1) shadowing offset layered onto
+// a static PropagationModel. The base model fixes "the building" (paper
+// §5.1: deterministic per-pair shadowing); DynamicShadowing adds a
+// time-varying component that models furniture, doors and people changing
+// the multipath environment between measurement epochs — the drift CMAP's
+// defer-entry TTLs exist to absorb (§3.1/§3.4).
+//
+// The offset is a pure function of (seed, unordered pair, epoch): epoch 0
+// draws from the stationary distribution and each later epoch applies
+//   o_k = rho * o_{k-1} + sigma * sqrt(1 - rho^2) * z_k
+// with z_k from a splitmix64 substream of (seed, pair, k). Two instances
+// with the same config agree exactly regardless of query order — the
+// property that lets the incremental and full-rebuild cache paths stay
+// byte-identical. A per-pair memo makes steady advance O(1) per link per
+// epoch; instances are per-run and NOT thread-safe (each World wraps the
+// shared read-only base model in its own DynamicShadowing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "phy/propagation.h"
+#include "phy/types.h"
+#include "sim/time.h"
+
+namespace cmap::dynamics {
+
+struct ChannelConfig {
+  double sigma_db = 3.0;      // stationary std-dev of the offset
+  double correlation = 0.9;   // rho: offset correlation across one epoch
+  sim::Time epoch = sim::milliseconds(500);  // how often the channel steps
+  std::uint64_t seed = 1;     // offset realization (mixed with the run seed)
+
+  bool operator==(const ChannelConfig&) const = default;
+};
+
+class DynamicShadowing final : public phy::PropagationModel {
+ public:
+  DynamicShadowing(std::shared_ptr<const phy::PropagationModel> base,
+                   ChannelConfig config);
+
+  /// Base-model power plus the current epoch's offset for the unordered
+  /// {from, to} pair. Mutates the per-pair memo; single-threaded use only.
+  double rx_power_dbm(double tx_power_dbm, phy::NodeId from, phy::NodeId to,
+                      const phy::Position& from_pos,
+                      const phy::Position& to_pos) const override;
+
+  /// Advance the channel one epoch. Cached link gains derived from this
+  /// model are stale afterwards; the caller refreshes them (see
+  /// phy::Medium::refresh_all).
+  void advance_epoch() { ++epoch_; }
+
+  std::int64_t epoch() const { return epoch_; }
+  const ChannelConfig& config() const { return config_; }
+
+  /// The offset itself (dB), for tests.
+  double offset_db(phy::NodeId from, phy::NodeId to) const;
+
+ private:
+  struct PairState {
+    std::int64_t epoch = 0;
+    double offset = 0.0;
+  };
+
+  std::shared_ptr<const phy::PropagationModel> base_;
+  ChannelConfig config_;
+  std::int64_t epoch_ = 0;
+  double innovation_scale_;  // sigma * sqrt(1 - rho^2)
+  mutable std::unordered_map<std::uint64_t, PairState> states_;
+};
+
+}  // namespace cmap::dynamics

@@ -1,0 +1,37 @@
+#include "dynamics/dynamics.h"
+
+#include "sim/assert.h"
+
+namespace cmap::dynamics {
+
+Dynamics::Dynamics(sim::Simulator& simulator, phy::Medium& medium,
+                   std::shared_ptr<DynamicShadowing> channel_model,
+                   DynamicsConfig config, sim::Rng rng)
+    : sim_(simulator),
+      medium_(medium),
+      channel_(std::move(channel_model)),
+      config_(config) {
+  CMAP_ASSERT(config_.channel.has_value() == (channel_ != nullptr),
+              "channel config and DynamicShadowing model must come together");
+  if (config_.mobility) {
+    mobility_ = std::make_unique<MobilityModel>(
+        sim_, medium_, *config_.mobility,
+        rng.substream(0x30b11e, config_.mobility->seed));
+  }
+}
+
+void Dynamics::start() {
+  if (mobility_) mobility_->start();
+  if (channel_) sim_.in(config_.channel->epoch, [this] { channel_step(); });
+}
+
+void Dynamics::channel_step() {
+  channel_->advance_epoch();
+  // Every cached link gain is stale after an epoch step; this is the one
+  // event where a full refresh is the *correct* cost, unlike a single
+  // node's move (see MediumConfig::incremental_invalidation).
+  medium_.refresh_all();
+  sim_.in(config_.channel->epoch, [this] { channel_step(); });
+}
+
+}  // namespace cmap::dynamics

@@ -91,10 +91,25 @@ void Medium::rebuild_reachable(std::uint32_t src_idx) {
   }
 }
 
+void Medium::refresh_all() {
+  if (!config_.enable_gain_cache) return;
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    for (std::uint32_t j = 0; j < radios_.size(); ++j) {
+      if (i == j) continue;
+      links_[i][j] = compute_link(*radios_[i], *radios_[j]);
+    }
+  }
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) rebuild_reachable(i);
+}
+
 void Medium::on_position_changed(Radio& radio) {
   if (!config_.enable_gain_cache) return;
   const std::uint32_t idx = index_of(radio.id());
   CMAP_ASSERT(idx != kNoIndex, "position change for unattached radio");
+  if (!config_.incremental_invalidation) {
+    refresh_all();
+    return;
+  }
   const double floor = cull_floor_dbm();
   for (std::uint32_t i = 0; i < radios_.size(); ++i) {
     if (i == idx) continue;

@@ -51,6 +51,12 @@ struct MediumConfig {
   // fade this many sigmas above the mean to have cleared the floor. With
   // fading_sigma_db == 0 culling is exact.
   double cull_guard_sigmas = 6.0;
+  // On a position change, recompute only the mover's gain-cache row and
+  // column and splice it in or out of the other sources' reachability sets
+  // — O(n) per move. Off: every move rebuilds the whole cache (O(n^2), the
+  // reference oracle the golden test pins the incremental path against).
+  // Irrelevant when enable_gain_cache is off.
+  bool incremental_invalidation = true;
 
   bool operator==(const MediumConfig&) const = default;
 };
@@ -68,8 +74,16 @@ class Medium {
   void attach(Radio* radio);
 
   /// Re-cache `radio`'s link gains and reachability after a position
-  /// change (called by Radio::set_position).
+  /// change (called by Radio::set_position). Incremental (row/column
+  /// splice) or full rebuild per config().incremental_invalidation.
   void on_position_changed(Radio& radio);
+
+  /// Recompute every cached link gain and reachability set against the
+  /// propagation model's *current* answers. This is the full O(n^2)
+  /// rebuild: the right tool when the whole channel moved (a dynamics
+  /// epoch step re-shadowing every link at once), and the reference oracle
+  /// a single node's incremental invalidation is golden-tested against.
+  void refresh_all();
 
   /// Fan `frame` out from `source` to all other attached radios.
   void transmit(Radio& source, std::shared_ptr<const Frame> frame);

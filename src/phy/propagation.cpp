@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/random.h"
+
 namespace cmap::phy {
 namespace {
 
@@ -11,23 +13,6 @@ constexpr double kSpeedOfLight = 2.99792458e8;
 double friis_ref_loss_db(double frequency_hz) {
   const double wavelength = kSpeedOfLight / frequency_hz;
   return 20.0 * std::log10(4.0 * M_PI / wavelength);  // loss at 1 m
-}
-
-// SplitMix64-style avalanche for deterministic shadowing draws.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-// Standard normal from a 64-bit hash value (two uniforms, Box-Muller).
-double hash_normal(std::uint64_t h) {
-  const double u1 =
-      (static_cast<double>(mix(h) >> 11) + 0.5) * 0x1.0p-53;  // (0,1)
-  const double u2 = static_cast<double>(mix(h ^ 0xabcdef12345ull) >> 11) *
-                    0x1.0p-53;
-  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
 }
 
 }  // namespace
@@ -53,8 +38,8 @@ double LogDistanceShadowing::shadow_db(NodeId from, NodeId to) const {
   const std::uint64_t dir_key =
       config_.seed ^ (static_cast<std::uint64_t>(from) << 32 | to) ^
       0x5bf03635u;
-  return config_.shadow_sigma_db * hash_normal(pair_key) +
-         config_.asym_sigma_db * hash_normal(dir_key);
+  return config_.shadow_sigma_db * sim::hash_normal(pair_key) +
+         config_.asym_sigma_db * sim::hash_normal(dir_key);
 }
 
 double LogDistanceShadowing::rx_power_dbm(double tx_power_dbm, NodeId from,

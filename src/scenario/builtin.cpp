@@ -8,6 +8,7 @@
 #include <map>
 #include <set>
 
+#include "dynamics/dynamics.h"
 #include "scenario/registry.h"
 #include "sim/assert.h"
 #include "testbed/topology_picker.h"
@@ -59,7 +60,7 @@ Scenario make_single_link() {
                   "calibration)";
   s.topology = [](const testbed::Testbed& tb, int count, sim::Rng& rng) {
     testbed::TopologyPicker picker(tb);
-    const auto links = picker.potential_links();
+    const auto& links = picker.potential_links();
     std::vector<TopologyInstance> out;
     for (int i = 0; i < count && !links.empty(); ++i) {
       const auto& [src, dst] = links[static_cast<std::size_t>(rng.uniform_int(
@@ -232,7 +233,7 @@ Scenario make_disjoint_flows(std::string name, int k) {
   s.description = desc;
   s.topology = [k](const testbed::Testbed& tb, int count, sim::Rng& rng) {
     testbed::TopologyPicker picker(tb);
-    const auto links = picker.potential_links();
+    const auto& links = picker.potential_links();
     std::vector<TopologyInstance> out;
     if (links.empty()) return out;
     for (int i = 0; i < count; ++i) {
@@ -270,7 +271,7 @@ Scenario make_dest_queue_ablation() {
   s.topology = [](const testbed::Testbed& tb, int count, sim::Rng& rng) {
     testbed::TopologyPicker picker(tb);
     const auto pairs = picker.in_range_pairs(count, rng);
-    const auto links = picker.potential_links();
+    const auto& links = picker.potential_links();
     std::vector<TopologyInstance> out;
     for (const auto& p : pairs) {
       // Alternative destination for s1: a potential link to someone who is
@@ -546,6 +547,83 @@ Scenario make_flows_family(int flows) {
   return s;
 }
 
+// ---- NEW: mobile_* / churn_* — time-varying-environment family ----
+//
+// The adaptation workload the paper's TTL machinery (§3.1/§3.4) exists
+// for: nodes move and the channel re-shadows mid-run, so conflicts learned
+// early go stale and must age out of the DeferTable while interferer-list
+// broadcasts teach the new geometry. Every member shortens the defer TTL
+// so expiry actually happens within a run, prescribes the canonical
+// 50-node building (Scenario::testbed), and layers a slowly-evolving AR(1)
+// channel on top of the motion.
+
+dynamics::DynamicsConfig make_dynamics(dynamics::MobilityPattern pattern,
+                                       double mobile_fraction) {
+  dynamics::DynamicsConfig dc;
+  dynamics::MobilityConfig m;
+  m.pattern = pattern;
+  m.mobile_fraction = mobile_fraction;
+  dc.mobility = m;
+  dynamics::ChannelConfig ch;
+  ch.sigma_db = 2.0;
+  ch.correlation = 0.9;
+  ch.epoch = sim::milliseconds(500);
+  dc.channel = ch;
+  return dc;
+}
+
+void apply_mobile_defaults(Scenario& s, dynamics::MobilityPattern pattern,
+                           double mobile_fraction) {
+  s.defaults.dynamics = make_dynamics(pattern, mobile_fraction);
+  // Short enough that conflicts learned before the geometry shifted
+  // expire within the default run; long enough to be useful while fresh.
+  // Interferer lists re-broadcast at twice the default cadence so the new
+  // geometry is re-taught promptly after old entries age out.
+  s.defaults.cmap_defer_ttl = sim::seconds(5);
+  s.defaults.cmap_ilist_period = sim::milliseconds(500);
+  s.defaults.duration = sim::seconds(20);
+  s.defaults.warmup = sim::seconds(5);
+  s.testbed = testbed::TestbedConfig{};  // canonical 50-node building
+}
+
+Scenario make_mobile_floor(int sender_pct) {
+  Scenario s =
+      make_dense_grid("mobile_floor_" + std::to_string(sender_pct), sender_pct);
+  char desc[128];
+  std::snprintf(desc, sizeof(desc),
+                "%d%%-sender dense floor where half the participating nodes "
+                "random-waypoint at pedestrian speed under an evolving "
+                "channel (defer TTL 5 s)",
+                sender_pct);
+  s.description = desc;
+  apply_mobile_defaults(s, dynamics::MobilityPattern::kWaypoint, 0.5);
+  return s;
+}
+
+Scenario make_mobile_chain() {
+  Scenario s = make_chain();
+  s.name = "mobile_chain";
+  s.description =
+      "the chain workload while every node drifts across the floor under an "
+      "evolving channel — adjacent hops slide between exposed and conflicting";
+  apply_mobile_defaults(s, dynamics::MobilityPattern::kDrift, 1.0);
+  return s;
+}
+
+Scenario make_churn(int churn_pct) {
+  Scenario s = make_dense_grid("churn_" + std::to_string(churn_pct), 25);
+  char desc[128];
+  std::snprintf(desc, sizeof(desc),
+                "25%%-sender dense floor where %d%% of participating nodes "
+                "teleport after exponential dwell times (arrival/departure "
+                "churn; defer TTL 5 s)",
+                churn_pct);
+  s.description = desc;
+  apply_mobile_defaults(s, dynamics::MobilityPattern::kChurn,
+                        churn_pct / 100.0);
+  return s;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -583,6 +661,11 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   for (int flows : {50, 100, 200}) {
     registry.add(make_flows_family(flows));
   }
+  for (int pct : {25, 50}) {
+    registry.add(make_mobile_floor(pct));
+  }
+  registry.add(make_mobile_chain());
+  registry.add(make_churn(25));
 }
 
 }  // namespace cmap::scenario

@@ -59,7 +59,14 @@ class ScenarioRegistry {
 ///       stress workload; pair with a large TestbedConfig::num_nodes);
 ///   testbed_100/200/400  — NEW: the dense-grid workload bound to a
 ///       canonical building of that size (Scenario::testbed +
-///       TestbedCache; the measurement fast path's scaling family).
+///       TestbedCache; the measurement fast path's scaling family);
+///   mobile_floor_25/50   — NEW: the dense-grid workload while half the
+///       nodes random-waypoint under an evolving channel (src/dynamics/;
+///       shortened defer TTL so conflict maps re-learn mid-run);
+///   mobile_chain         — NEW: the chain workload with every node
+///       drifting across the floor;
+///   churn_25             — NEW: 25% of nodes teleport after exponential
+///       dwell times (arrival/departure churn).
 void register_builtin_scenarios(ScenarioRegistry& registry);
 
 }  // namespace cmap::scenario

@@ -28,6 +28,13 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+double hash_normal(std::uint64_t h) {
+  const double u1 = (static_cast<double>(mix64(h) >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 =
+      static_cast<double>(mix64(h ^ 0xabcdef12345ull) >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
 Rng::Rng(std::uint64_t seed) : Rng(seed, 0x6a09e667f3bcc909ull) {}
 
 Rng::Rng(std::uint64_t a, std::uint64_t b) : seed_lo_(a), seed_hi_(b) {

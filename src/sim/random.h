@@ -21,6 +21,12 @@ namespace cmap::sim {
 /// as soon as a coordinate outgrows the multiplier.
 std::uint64_t mix64(std::uint64_t x);
 
+/// Standard normal as a pure function of a 64-bit hash value (two mix64
+/// uniforms, Box-Muller). For deterministic stateless draws keyed on
+/// structured coordinates — per-pair shadowing, per-epoch channel
+/// innovations — where the same key must always yield the same variate.
+double hash_normal(std::uint64_t h);
+
 /// xoshiro256++ PRNG plus the distributions the simulator needs.
 class Rng {
  public:

@@ -3,6 +3,20 @@
 #include "sim/assert.h"
 
 namespace cmap::testbed {
+namespace {
+
+// Per-run channel wrapper over the testbed's (shared, static) propagation.
+// Seeded from both the channel config's seed and the run seed so
+// replicates see independent channel realizations.
+std::shared_ptr<dynamics::DynamicShadowing> make_channel(
+    const Testbed& tb, const RunConfig& config) {
+  if (!config.dynamics || !config.dynamics->channel) return nullptr;
+  dynamics::ChannelConfig cc = *config.dynamics->channel;
+  cc.seed = sim::mix64(cc.seed ^ sim::mix64(config.seed));
+  return std::make_shared<dynamics::DynamicShadowing>(tb.propagation(), cc);
+}
+
+}  // namespace
 
 const char* scheme_name(Scheme scheme) {
   switch (scheme) {
@@ -31,8 +45,29 @@ World::World(const Testbed& tb, const RunConfig& config)
     : tb_(tb),
       config_(config),
       rng_(config.seed),
-      medium_(sim_, tb.propagation(), tb.config().medium,
-              sim::Rng(config.seed).substream(0xbead, 0)) {}
+      channel_(make_channel(tb, config)),
+      medium_(sim_, channel_ ? std::shared_ptr<const phy::PropagationModel>(
+                                   channel_)
+                             : tb.propagation(),
+              tb.config().medium, sim::Rng(config.seed).substream(0xbead, 0)) {
+  if (config_.dynamics &&
+      (config_.dynamics->mobility || config_.dynamics->channel)) {
+    // Resolve defaults in place so config() reports the effective values.
+    dynamics::DynamicsConfig& dc = *config_.dynamics;
+    if (dc.mobility) {
+      // Default the mobility bounds to the testbed's floor.
+      if (dc.mobility->width_m <= 0.0) {
+        dc.mobility->width_m = tb_.config().width_m;
+      }
+      if (dc.mobility->height_m <= 0.0) {
+        dc.mobility->height_m = tb_.config().height_m;
+      }
+    }
+    dynamics_ = std::make_unique<dynamics::Dynamics>(
+        sim_, medium_, channel_, dc, rng_.substream(0xd14a, 0));
+    dynamics_->start();
+  }
+}
 
 void World::add_node(phy::NodeId id) {
   if (nodes_.count(id)) return;
@@ -52,6 +87,8 @@ void World::add_node(phy::NodeId id) {
     if (config_.scheme == Scheme::kCmapWin1) cc.nwindow_vps = 1;
     if (config_.cmap_nvpkt) cc.nvpkt = *config_.cmap_nvpkt;
     if (config_.cmap_nwindow) cc.nwindow_vps = *config_.cmap_nwindow;
+    if (config_.cmap_defer_ttl) cc.defer_entry_ttl = *config_.cmap_defer_ttl;
+    if (config_.cmap_ilist_period) cc.ilist_period = *config_.cmap_ilist_period;
     cc.data_rate = config_.data_rate;
     cc.per_dest_queues = config_.per_dest_queues;
     cc.annotate_rates = config_.annotate_rates;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/cmap_mac.h"
+#include "dynamics/dynamics.h"
 #include "mac80211/dcf.h"
 #include "net/traffic.h"
 #include "phy/medium.h"
@@ -50,6 +51,17 @@ struct RunConfig {
   core::DecisionMode decision_mode = core::DecisionMode::kFast;
   std::optional<int> cmap_nvpkt;    // override Nvpkt
   std::optional<int> cmap_nwindow;  // override Nwindow (in VPs)
+  // Override the CMAP defer-entry TTL (§3.4) and the interferer-list
+  // broadcast period (§3.1). Mobile scenarios shorten both so stale
+  // conflicts age out and fresh ones are re-broadcast within the run —
+  // the periodic re-learning loop the paper's TTLs exist for.
+  std::optional<sim::Time> cmap_defer_ttl;
+  std::optional<sim::Time> cmap_ilist_period;
+  // Time-varying environment (mobility and/or channel evolution); the
+  // World instantiates the dynamics subsystem when set. Mobility bounds
+  // default to the testbed's floor; the channel model wraps the testbed's
+  // propagation per run, seeded from (its own seed, the run seed).
+  std::optional<dynamics::DynamicsConfig> dynamics;
 };
 
 /// A live simulation world. Benches with bespoke needs (mesh phases,
@@ -80,6 +92,8 @@ class World {
   mac80211::DcfMac* dcf(phy::NodeId id);        // nullptr for CMAP schemes
   phy::Radio& radio(phy::NodeId id);
   const RunConfig& config() const { return config_; }
+  /// The dynamics subsystem, when config().dynamics is set (else nullptr).
+  const dynamics::Dynamics* dynamics() const { return dynamics_.get(); }
 
  private:
   struct NodeState {
@@ -94,7 +108,11 @@ class World {
   RunConfig config_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  // Per-run channel wrapper (nullptr without channel dynamics); must
+  // outlive and precede medium_, which holds it as its propagation model.
+  std::shared_ptr<dynamics::DynamicShadowing> channel_;
   phy::Medium medium_;
+  std::unique_ptr<dynamics::Dynamics> dynamics_;
   std::map<phy::NodeId, NodeState> nodes_;
 };
 

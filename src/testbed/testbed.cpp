@@ -14,22 +14,63 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   error_model_ = std::make_shared<phy::NistErrorModel>();
 
   // Scatter nodes uniformly over the floor, with a minimum separation so
-  // no two "machines sit in the same rack".
+  // no two "machines sit in the same rack". The separation check is
+  // grid-hashed (cells of min_sep; a conflict can only sit in the 3x3
+  // neighborhood), replacing an O(n) scan per candidate — same candidate
+  // stream, same accept/reject decisions, byte-identical placements.
   sim::Rng rng(config_.seed);
   sim::Rng place = rng.substream(0x91ace, 0);
   const double min_sep = 2.0;
+  const int grid_w = std::max(
+      1, static_cast<int>(std::ceil(config_.width_m / min_sep)));
+  const int grid_h = std::max(
+      1, static_cast<int>(std::ceil(config_.height_m / min_sep)));
+  std::vector<std::vector<std::uint32_t>> cells(
+      static_cast<std::size_t>(grid_w) * static_cast<std::size_t>(grid_h));
+  const auto cell_of = [&](const phy::Position& p) {
+    const int cx = std::min(grid_w - 1, static_cast<int>(p.x / min_sep));
+    const int cy = std::min(grid_h - 1, static_cast<int>(p.y / min_sep));
+    return std::pair<int, int>{cx, cy};
+  };
+  // Over-dense floors used to spin forever here; bound the consecutive
+  // rejections and fail with a clear error instead. The bound is generous:
+  // a feasible configuration rejecting this many times in a row has
+  // probability ~0.
+  const long max_consecutive_rejects = 1000L * config_.num_nodes + 100000L;
+  long rejects = 0;
   positions_.reserve(config_.num_nodes);
   while (positions_.size() < static_cast<std::size_t>(config_.num_nodes)) {
     phy::Position p{place.uniform(0.0, config_.width_m),
                     place.uniform(0.0, config_.height_m)};
+    const auto [cx, cy] = cell_of(p);
     bool ok = true;
-    for (const auto& q : positions_) {
-      if (phy::distance(p, q) < min_sep) {
-        ok = false;
-        break;
+    for (int dy = -1; dy <= 1 && ok; ++dy) {
+      for (int dx = -1; dx <= 1 && ok; ++dx) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || nx >= grid_w || ny < 0 || ny >= grid_h) continue;
+        for (const std::uint32_t i :
+             cells[static_cast<std::size_t>(ny) * grid_w + nx]) {
+          if (phy::distance(p, positions_[i]) < min_sep) {
+            ok = false;
+            break;
+          }
+        }
       }
     }
-    if (ok) positions_.push_back(p);
+    if (ok) {
+      cells[static_cast<std::size_t>(cy) * grid_w + cx].push_back(
+          static_cast<std::uint32_t>(positions_.size()));
+      positions_.push_back(p);
+      rejects = 0;
+    } else if (++rejects > max_consecutive_rejects) {
+      std::fprintf(stderr,
+                   "Testbed: cannot place %d nodes with min separation "
+                   "%.1f m on a %.1f x %.1f m floor (placed %zu; floor too "
+                   "dense)\n",
+                   config_.num_nodes, min_sep, config_.width_m,
+                   config_.height_m, positions_.size());
+      CMAP_ASSERT(false, "testbed floor too dense for num_nodes / min_sep");
+    }
   }
 
   // Measurement pass: PRR and signal strength per directed pair, delegated
@@ -51,6 +92,15 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   connected_signals_ = std::move(result.connected_signals);
   p10_ = result.p10;
   p90_ = result.p90;
+
+  // Precompute the potential-link list the topology pickers iterate; the
+  // predicate inputs above are final from here on.
+  const auto n = static_cast<phy::NodeId>(config_.num_nodes);
+  for (phy::NodeId a = 0; a < n; ++a) {
+    for (phy::NodeId b = 0; b < n; ++b) {
+      if (a != b && potential_link(a, b)) potential_links_.emplace_back(a, b);
+    }
+  }
 }
 
 double Testbed::prr(phy::NodeId from, phy::NodeId to) const {

@@ -110,6 +110,14 @@ class Testbed {
   /// Directed signal at or above the 90th percentile.
   bool strong_signal(phy::NodeId from, phy::NodeId to) const;
 
+  /// All directed links satisfying potential_link(), in (from, to)
+  /// lexicographic order. Computed once at construction — the pickers'
+  /// O(n^2) predicate sweep used to rerun on every scenario draw.
+  const std::vector<std::pair<phy::NodeId, phy::NodeId>>& potential_links()
+      const {
+    return potential_links_;
+  }
+
   // ---- Calibration statistics (validated against §5.1) ----
   struct LinkClasses {
     int connected_pairs = 0;  // directed pairs with any connectivity
@@ -129,6 +137,7 @@ class Testbed {
   std::vector<double> prr_;         // [from * n + to]
   std::vector<double> signal_;      // [from * n + to]
   std::vector<double> connected_signals_;  // sorted, for percentiles
+  std::vector<std::pair<phy::NodeId, phy::NodeId>> potential_links_;
   double p10_ = 0.0;  // cached signal_percentile(10/90); NaN when no pair
   double p90_ = 0.0;  // clears the delivery floor (predicates then false)
 };

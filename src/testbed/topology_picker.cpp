@@ -31,21 +31,9 @@ bool distinct4(phy::NodeId a, phy::NodeId b, phy::NodeId c, phy::NodeId d) {
 
 }  // namespace
 
-std::vector<std::pair<phy::NodeId, phy::NodeId>>
-TopologyPicker::potential_links() const {
-  std::vector<std::pair<phy::NodeId, phy::NodeId>> out;
-  const auto n = static_cast<phy::NodeId>(tb_.size());
-  for (phy::NodeId a = 0; a < n; ++a) {
-    for (phy::NodeId b = 0; b < n; ++b) {
-      if (a != b && tb_.potential_link(a, b)) out.emplace_back(a, b);
-    }
-  }
-  return out;
-}
-
 std::vector<LinkPair> TopologyPicker::exposed_pairs(int count,
                                                     sim::Rng& rng) const {
-  const auto links = potential_links();
+  const auto& links = potential_links();
   std::vector<LinkPair> pool;
   for (const auto& [s1, r1] : links) {
     if (!tb_.strong_signal(s1, r1)) continue;
@@ -77,7 +65,7 @@ std::vector<LinkPair> TopologyPicker::exposed_pairs(int count,
 
 std::vector<LinkPair> TopologyPicker::in_range_pairs(int count,
                                                      sim::Rng& rng) const {
-  const auto links = potential_links();
+  const auto& links = potential_links();
   std::vector<LinkPair> pool;
   for (const auto& [s1, r1] : links) {
     for (const auto& [s2, r2] : links) {
@@ -92,7 +80,7 @@ std::vector<LinkPair> TopologyPicker::in_range_pairs(int count,
 
 std::vector<LinkPair> TopologyPicker::hidden_pairs(int count,
                                                    sim::Rng& rng) const {
-  const auto links = potential_links();
+  const auto& links = potential_links();
   std::vector<LinkPair> pool;
   for (const auto& [s1, r1] : links) {
     for (const auto& [s2, r2] : links) {
@@ -230,7 +218,7 @@ std::optional<MeshScenario> TopologyPicker::mesh_scenario(
 
 std::vector<Triple> TopologyPicker::interferer_triples(int count,
                                                        sim::Rng& rng) const {
-  const auto links = potential_links();
+  const auto& links = potential_links();
   if (links.empty() || count <= 0) return {};
   std::vector<Triple> out;
   const auto n = static_cast<phy::NodeId>(tb_.size());

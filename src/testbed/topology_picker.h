@@ -71,7 +71,11 @@ class TopologyPicker {
   std::vector<Triple> interferer_triples(int count, sim::Rng& rng) const;
 
   /// All directed links satisfying the potential-transmission predicate.
-  std::vector<std::pair<phy::NodeId, phy::NodeId>> potential_links() const;
+  /// Precomputed once per Testbed (Testbed::potential_links), not per draw.
+  const std::vector<std::pair<phy::NodeId, phy::NodeId>>& potential_links()
+      const {
+    return tb_.potential_links();
+  }
 
  private:
   const Testbed& tb_;

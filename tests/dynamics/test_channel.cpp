@@ -1,0 +1,115 @@
+#include "dynamics/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "phy/propagation.h"
+
+namespace cmap::dynamics {
+namespace {
+
+std::shared_ptr<const phy::PropagationModel> base_model() {
+  return std::make_shared<phy::FriisPropagation>();
+}
+
+ChannelConfig config(double sigma = 3.0, double rho = 0.9,
+                     std::uint64_t seed = 7) {
+  ChannelConfig c;
+  c.sigma_db = sigma;
+  c.correlation = rho;
+  c.seed = seed;
+  return c;
+}
+
+TEST(DynamicShadowing, EpochZeroAddsTheStationaryOffset) {
+  DynamicShadowing dyn(base_model(), config());
+  const phy::Position a{0, 0}, b{50, 0};
+  const double base = base_model()->rx_power_dbm(10.0, 1, 2, a, b);
+  EXPECT_DOUBLE_EQ(dyn.rx_power_dbm(10.0, 1, 2, a, b),
+                   base + dyn.offset_db(1, 2));
+}
+
+TEST(DynamicShadowing, OffsetIsSymmetricPerUnorderedPair) {
+  DynamicShadowing dyn(base_model(), config());
+  dyn.advance_epoch();
+  EXPECT_DOUBLE_EQ(dyn.offset_db(3, 9), dyn.offset_db(9, 3));
+}
+
+TEST(DynamicShadowing, OffsetsAreQueryOrderInvariant) {
+  // Two instances with the same config, one queried at every epoch and one
+  // only at the end, must agree exactly — the property that keeps the
+  // incremental and full-rebuild cache paths byte-identical.
+  DynamicShadowing eager(base_model(), config());
+  DynamicShadowing lazy(base_model(), config());
+  for (int e = 0; e < 17; ++e) {
+    eager.advance_epoch();
+    lazy.advance_epoch();
+    (void)eager.offset_db(1, 2);  // advance the memo every epoch
+  }
+  EXPECT_DOUBLE_EQ(eager.offset_db(1, 2), lazy.offset_db(1, 2));
+  // A pair first seen late also matches a pair tracked from the start.
+  DynamicShadowing tracked(base_model(), config());
+  for (int e = 0; e < 17; ++e) {
+    tracked.advance_epoch();
+    (void)tracked.offset_db(5, 6);
+  }
+  EXPECT_DOUBLE_EQ(lazy.offset_db(5, 6), tracked.offset_db(5, 6));
+}
+
+TEST(DynamicShadowing, AdjacentEpochsAreCorrelated) {
+  // With rho = 0.95 the expected per-epoch step is sigma * sqrt(2(1-rho))
+  // ~= 0.32 sigma; across many links the mean |step| must come out well
+  // under the stationary spread — i.e. the process evolves, slowly.
+  DynamicShadowing dyn(base_model(), config(3.0, 0.95));
+  double total_step = 0.0;
+  const int links = 200;
+  std::vector<double> prev(links);
+  for (int i = 0; i < links; ++i) {
+    prev[i] = dyn.offset_db(0, static_cast<phy::NodeId>(i + 1));
+  }
+  dyn.advance_epoch();
+  for (int i = 0; i < links; ++i) {
+    const double now = dyn.offset_db(0, static_cast<phy::NodeId>(i + 1));
+    EXPECT_NE(now, prev[i]);  // it moved...
+    total_step += std::abs(now - prev[i]);
+  }
+  EXPECT_LT(total_step / links, 3.0 * 0.45);  // ...but not far
+}
+
+TEST(DynamicShadowing, StationarySpreadMatchesSigma) {
+  // Sample many independent links at a late epoch; the sample std-dev must
+  // sit near the configured sigma (AR(1) with stationary initialization).
+  DynamicShadowing dyn(base_model(), config(3.0, 0.9));
+  for (int e = 0; e < 25; ++e) dyn.advance_epoch();
+  const int links = 500;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < links; ++i) {
+    const double o = dyn.offset_db(1000, static_cast<phy::NodeId>(i));
+    sum += o;
+    sq += o * o;
+  }
+  const double mean = sum / links;
+  const double stddev = std::sqrt(sq / links - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(stddev, 3.0, 0.5);
+}
+
+TEST(DynamicShadowing, ZeroSigmaIsTheBaseModel) {
+  DynamicShadowing dyn(base_model(), config(0.0));
+  dyn.advance_epoch();
+  const phy::Position a{0, 0}, b{120, 40};
+  EXPECT_DOUBLE_EQ(dyn.rx_power_dbm(10.0, 1, 2, a, b),
+                   base_model()->rx_power_dbm(10.0, 1, 2, a, b));
+}
+
+TEST(DynamicShadowing, DifferentSeedsDifferentRealizations) {
+  DynamicShadowing a(base_model(), config(3.0, 0.9, 1));
+  DynamicShadowing b(base_model(), config(3.0, 0.9, 2));
+  EXPECT_NE(a.offset_db(1, 2), b.offset_db(1, 2));
+}
+
+}  // namespace
+}  // namespace cmap::dynamics

@@ -162,6 +162,156 @@ TEST(Medium, FastAndReferencePathsProduceIdenticalOutcomes) {
   EXPECT_EQ(run_once(true), run_once(false));
 }
 
+// ---- Incremental cache invalidation (MediumConfig::incremental_invalidation)
+
+// Counts propagation queries — the observable cost of a cache refresh.
+class CountingPropagation final : public PropagationModel {
+ public:
+  double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                      const Position& from_pos,
+                      const Position& to_pos) const override {
+    ++calls;
+    return inner_.rx_power_dbm(tx_power_dbm, from, to, from_pos, to_pos);
+  }
+  mutable std::uint64_t calls = 0;
+
+ private:
+  FriisPropagation inner_;
+};
+
+// A bare medium over a counting model, radios placed on a line.
+struct CountingWorld {
+  explicit CountingWorld(int n, MediumConfig mcfg = World::NoFadingConfig())
+      : propagation(std::make_shared<CountingPropagation>()),
+        medium(sim, propagation, mcfg, sim::Rng(7)) {
+    auto error = std::make_shared<NistErrorModel>();
+    for (int i = 0; i < n; ++i) {
+      radios.push_back(std::make_unique<Radio>(
+          sim, medium, static_cast<NodeId>(i),
+          Position{40.0 * i, 10.0 * (i % 3)}, RadioConfig{}, error,
+          sim::Rng(500 + i)));
+    }
+  }
+
+  sim::Simulator sim;
+  std::shared_ptr<CountingPropagation> propagation;
+  Medium medium;
+  std::vector<std::unique_ptr<Radio>> radios;
+};
+
+TEST(MediumInvalidate, IncrementalMoveRecomputesOnlyTheMoversRowsAndColumns) {
+  constexpr int kNodes = 9;
+  CountingWorld w(kNodes);
+  w.propagation->calls = 0;
+  w.radios[4]->set_position({123, 17});
+  // One outbound and one inbound link per other radio — nothing else.
+  EXPECT_EQ(w.propagation->calls, 2u * (kNodes - 1));
+}
+
+TEST(MediumInvalidate, FullRebuildReferenceRecomputesEveryPair) {
+  constexpr int kNodes = 9;
+  MediumConfig mcfg = World::NoFadingConfig();
+  mcfg.incremental_invalidation = false;
+  CountingWorld w(kNodes, mcfg);
+  w.propagation->calls = 0;
+  w.radios[4]->set_position({123, 17});
+  EXPECT_EQ(w.propagation->calls,
+            static_cast<std::uint64_t>(kNodes) * (kNodes - 1));
+}
+
+TEST(MediumInvalidate, InterleavedMovesMatchTheFullRebuildReference) {
+  // Same move sequence against an incremental medium and a full-rebuild
+  // medium: every cached gain and every reachability set must stay
+  // bit-identical after each move — the invariant the sweep-level golden
+  // test relies on.
+  constexpr int kNodes = 12;
+  MediumConfig ref_cfg = World::NoFadingConfig();
+  ref_cfg.incremental_invalidation = false;
+  CountingWorld fast(kNodes);
+  CountingWorld ref(kNodes, ref_cfg);
+  sim::Rng moves(99);
+  for (int m = 0; m < 40; ++m) {
+    const auto who = static_cast<std::size_t>(moves.uniform_int(0, kNodes - 1));
+    const Position p{moves.uniform(0.0, 400.0), moves.uniform(0.0, 50.0)};
+    fast.radios[who]->set_position(p);
+    ref.radios[who]->set_position(p);
+    for (int a = 0; a < kNodes; ++a) {
+      ASSERT_EQ(fast.medium.fanout_candidates(static_cast<NodeId>(a)),
+                ref.medium.fanout_candidates(static_cast<NodeId>(a)))
+          << "after move " << m << " source " << a;
+      for (int b = 0; b < kNodes; ++b) {
+        if (a == b) continue;
+        ASSERT_EQ(fast.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                                static_cast<NodeId>(b)),
+                  ref.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                               static_cast<NodeId>(b)))
+            << "after move " << m << " link " << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(MediumInvalidate, MovedMediumMatchesAFreshBuildAtFinalPositions) {
+  constexpr int kNodes = 10;
+  CountingWorld moved(kNodes);
+  sim::Rng moves(3);
+  std::vector<Position> final_pos;
+  for (int i = 0; i < kNodes; ++i) final_pos.push_back(moved.radios[i]->position());
+  for (int m = 0; m < 25; ++m) {
+    const auto who = static_cast<std::size_t>(moves.uniform_int(0, kNodes - 1));
+    const Position p{moves.uniform(0.0, 500.0), moves.uniform(0.0, 60.0)};
+    moved.radios[who]->set_position(p);
+    final_pos[who] = p;
+  }
+  CountingWorld fresh(0);
+  auto error = std::make_shared<NistErrorModel>();
+  for (int i = 0; i < kNodes; ++i) {
+    fresh.radios.push_back(std::make_unique<Radio>(
+        fresh.sim, fresh.medium, static_cast<NodeId>(i), final_pos[i],
+        RadioConfig{}, error, sim::Rng(500 + i)));
+  }
+  for (int a = 0; a < kNodes; ++a) {
+    EXPECT_EQ(moved.medium.fanout_candidates(static_cast<NodeId>(a)),
+              fresh.medium.fanout_candidates(static_cast<NodeId>(a)));
+    for (int b = 0; b < kNodes; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(moved.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                               static_cast<NodeId>(b)),
+                fresh.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                               static_cast<NodeId>(b)));
+    }
+  }
+}
+
+TEST(MediumInvalidate, RefreshAllReconcilesAChangedChannel) {
+  // refresh_all() exists for channel-epoch steps: the model's answers
+  // change underneath the cache, and one full refresh restores coherence.
+  class Shiftable final : public PropagationModel {
+   public:
+    double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                        const Position& from_pos,
+                        const Position& to_pos) const override {
+      return inner_.rx_power_dbm(tx_power_dbm, from, to, from_pos, to_pos) +
+             shift_db;
+    }
+    double shift_db = 0.0;
+
+   private:
+    FriisPropagation inner_;
+  };
+  sim::Simulator sim;
+  auto prop = std::make_shared<Shiftable>();
+  Medium medium(sim, prop, World::NoFadingConfig(), sim::Rng(7));
+  auto error = std::make_shared<NistErrorModel>();
+  Radio a(sim, medium, 1, {0, 0}, RadioConfig{}, error, sim::Rng(1));
+  Radio b(sim, medium, 2, {80, 0}, RadioConfig{}, error, sim::Rng(2));
+  const double before = medium.mean_rx_power_dbm(1, 2);
+  prop->shift_db = -7.0;
+  EXPECT_DOUBLE_EQ(medium.mean_rx_power_dbm(1, 2), before);  // stale cache
+  medium.refresh_all();
+  EXPECT_DOUBLE_EQ(medium.mean_rx_power_dbm(1, 2), before - 7.0);
+}
+
 class FadingSigmaSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(FadingSigmaSweep, WiderFadingWidensOutcomeSpread) {

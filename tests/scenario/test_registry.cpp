@@ -20,7 +20,9 @@ TEST(Registry, GlobalHasEveryBuiltin) {
         "ap_wlan", "ap_wlan_3", "ap_wlan_4", "ap_wlan_5", "ap_wlan_6",
         "mesh_dissemination", "interferer_triple", "disjoint_flows_2",
         "disjoint_flows_7", "dest_queue_ablation", "chain", "mixed_floor",
-        "dense_grid_10", "dense_grid_25", "dense_grid_50"}) {
+        "dense_grid_10", "dense_grid_25", "dense_grid_50", "testbed_100",
+        "flows_50", "mobile_floor_25", "mobile_floor_50", "mobile_chain",
+        "churn_25"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
 }

@@ -54,6 +54,40 @@ TEST(Testbed, DifferentSeedsDifferentBuildings) {
   EXPECT_LT(identical, 5);
 }
 
+TEST(Testbed, CachedPotentialLinksMatchThePredicate) {
+  // The precomputed list is exactly the predicate's truth set, in (from,
+  // to) lexicographic order.
+  const auto& tb = shared_testbed();
+  const auto& links = tb.potential_links();
+  std::size_t expected = 0;
+  auto it = links.begin();
+  for (phy::NodeId a = 0; a < static_cast<phy::NodeId>(tb.size()); ++a) {
+    for (phy::NodeId b = 0; b < static_cast<phy::NodeId>(tb.size()); ++b) {
+      if (a == b) continue;
+      if (!tb.potential_link(a, b)) continue;
+      ++expected;
+      ASSERT_NE(it, links.end());
+      EXPECT_EQ(it->first, a);
+      EXPECT_EQ(it->second, b);
+      ++it;
+    }
+  }
+  EXPECT_EQ(links.size(), expected);
+  EXPECT_EQ(it, links.end());
+}
+
+TEST(TestbedDeathTest, OverDenseFloorFailsFastWithAClearError) {
+  // 2 m min separation on a 5 x 5 m floor caps feasible placements far
+  // below 100 nodes; the bounded rejection loop must abort with a
+  // diagnostic instead of spinning forever.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TestbedConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.width_m = 5.0;
+  cfg.height_m = 5.0;
+  EXPECT_DEATH(Testbed{cfg}, "too dense");
+}
+
 TEST(Testbed, LinkClassesMatchPaperStatistics) {
   // §5.1: ~68% PRR<0.1, ~12% in (0.1,1), ~20% PRR=1 of connected pairs.
   // Loose bands — the claim is qualitative shape, not exact fractions.

@@ -6,7 +6,7 @@ JSONs with a trailing "timing"-scheme row each) against the committed
 baseline, and optionally checks the fast-path speedup ratios from a Google
 Benchmark JSON produced by bench_micro.
 
-Three timing rows are gated today, matched by scenario name across however
+Four timing rows are gated today, matched by scenario name across however
 many --pr files are given:
   dense_grid_bench       (bench_dense_grid)      — simulation hot path
   testbed_measure_bench  (bench_testbed_measure) — measurement pass; its
@@ -16,6 +16,11 @@ many --pr files are given:
       mac_decide_speedup metric (indexed fast path vs reference scan at
       high flow concurrency) is enforced the same way, and decisions_match
       must be 1.0 (the two paths answered byte-identically).
+  mobility_bench         (bench_mobility)        — gain-cache maintenance
+      under node mobility; its mobility_speedup metric (incremental
+      row/column invalidation vs full O(n^2) rebuild per move) is enforced
+      the same way, and mobility_states_match must be 1.0 (both policies
+      left bit-identical caches).
 
 Wall-clock comparisons (metrics ending in "_ms") are normalized by each
 row's own calibration_ms (a fixed CPU-bound workload timed on the same
@@ -39,23 +44,26 @@ CALIBRATION_KEY = "calibration_ms"
 # comparison is only meaningful when the PR ran the same workload the
 # baseline did.
 EXACT_KEYS = {"nodes", "configs", "run_seconds", "threads", "measure_threads",
-              "flows", "decisions"}
+              "flows", "decisions", "moves"}
 # Metrics enforced as raw minimums (machine-independent ratios measured
 # within one process). Values name the argparse option carrying the bound.
 MIN_KEYS = {"measure_speedup": "min_measure_speedup",
-            "mac_decide_speedup": "min_mac_decide_speedup"}
+            "mac_decide_speedup": "min_mac_decide_speedup",
+            "mobility_speedup": "min_mobility_speedup"}
 # Metrics enforced as fixed minimums: cache_hit is 1.0 when the second
-# TestbedCache request returned the identical instance, decisions_match is
-# 1.0 when the fast and reference decision paths answered byte-identically
-# — a miss on either is the regression the bench exists to catch, not a
-# diagnostic.
-FIXED_MIN_KEYS = {"cache_hit": 1.0, "decisions_match": 1.0}
-# Reported, never gated: non-timing diagnostics, plus the MAC-decision
-# reference oracle's runtime — it exists only as the denominator of the
-# gated mac_decide_speedup ratio, and its ~1 s baseline sits close enough
-# to MIN_GATED_MS that normalized-runtime gating would flake on shared
-# runners without guarding anything the speedup gate does not.
-INFO_KEYS = {"max_abs_delta_prr", "table_entries", "decide_reference_cpu_ms"}
+# TestbedCache request returned the identical instance, decisions_match /
+# mobility_states_match are 1.0 when the fast and reference paths answered
+# (or left the cache) byte-identical — a miss on any is the regression the
+# bench exists to catch, not a diagnostic.
+FIXED_MIN_KEYS = {"cache_hit": 1.0, "decisions_match": 1.0,
+                  "mobility_states_match": 1.0}
+# Reported, never gated: non-timing diagnostics, plus the reference
+# oracles' runtimes — they exist only as denominators of the gated speedup
+# ratios, and their ~1 s baselines sit close enough to MIN_GATED_MS that
+# normalized-runtime gating would flake on shared runners without guarding
+# anything the speedup gates do not.
+INFO_KEYS = {"max_abs_delta_prr", "table_entries", "decide_reference_cpu_ms",
+             "move_reference_cpu_ms"}
 # Timings whose baseline is shorter than this are reported but not gated:
 # sub-second samples on shared CI runners are dominated by scheduler and
 # cache noise that the calibration ratio cannot correct.
@@ -196,10 +204,14 @@ def main():
     ap.add_argument("--min-mac-decide-speedup", type=float, default=5.0,
                     help="required MAC-decision fast-vs-reference speedup "
                          "(default 5.0)")
+    ap.add_argument("--min-mobility-speedup", type=float, default=5.0,
+                    help="required incremental-invalidation vs full-rebuild "
+                         "speedup (default 5.0)")
     args = ap.parse_args()
 
     minimums = {"min_measure_speedup": args.min_measure_speedup,
-                "min_mac_decide_speedup": args.min_mac_decide_speedup}
+                "min_mac_decide_speedup": args.min_mac_decide_speedup,
+                "min_mobility_speedup": args.min_mobility_speedup}
     failures = check_timings(args.pr, args.baseline, args.threshold, minimums)
     if args.micro:
         failures += check_micro(args.micro, args.min_speedup)
