@@ -1,0 +1,147 @@
+// Trace-overhead bench: the cost of the always-on trace subsystem on the
+// dense-grid CMAP workload, in three modes —
+//   untraced:  no Tracer attached (RunConfig::trace unset, the default);
+//   disabled:  a Tracer attached with an empty category mask — every
+//       instrumentation site reduces to one branch on a cached mask, the
+//       configuration the "always-on" claim rests on;
+//   enabled:   PHY + MAC categories recorded to per-run .cmtrace files.
+// The three modes run interleaved for several reps on an identical seeded
+// sweep; min-of-reps CPU time per mode discards scheduler deschedules.
+//
+// Doubles as a CI regression probe: the timing row rides in CMAP_BENCH_JSON
+// and tools/check_bench_regression.py enforces trace_overhead_off (the
+// disabled/untraced CPU-time ratio, measured within this one process, so
+// machine-independent) as a fixed maximum of 1.02 — instrumenting a hot
+// path with anything costlier than the mask branch is the regression this
+// bench exists to catch. The enabled-mode overhead and trace size are
+// reported as diagnostics, not gated: recording cost scales with what the
+// user chose to record.
+//
+// Extra knob: CMAP_BENCH_NODES (default 120) sizes the testbed.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "bench_main.h"
+#include "trace/trace.h"
+
+using namespace cmap;
+using namespace cmap::bench;
+
+namespace {
+
+enum class Mode { kUntraced, kDisabled, kEnabled };
+
+double run_once(const Scale& s, const testbed::Testbed& tb, Mode mode,
+                const std::string& trace_dir) {
+  auto sweep = make_sweep(s, "dense_grid_25", {testbed::Scheme::kCmap});
+  if (mode != Mode::kUntraced) {
+    trace::TraceConfig tc;
+    tc.path = trace_dir;
+    tc.categories = mode == Mode::kDisabled
+                        ? 0u
+                        : (trace::kPhyCategories | trace::kMacCategories);
+    sweep.trace = tc;
+  }
+  const double t0 = cpu_ms_now();
+  auto report = make_runner(s).run(sweep, tb);
+  const double elapsed = cpu_ms_now() - t0;
+  // Consume the report so the sweep cannot be elided.
+  volatile double guard = report.rows().empty()
+                              ? 0.0
+                              : report.rows().front().aggregate_mbps;
+  (void)guard;
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  Scale s = load_scale();
+  if (std::getenv("CMAP_BENCH_SECONDS") == nullptr && !s.full) {
+    s.duration = sim::seconds(2);  // three modes x reps: keep each run short
+    s.warmup = sim::seconds(1);
+  }
+  if (std::getenv("CMAP_BENCH_CONFIGS") == nullptr && !s.full) {
+    s.configs = 2;
+  }
+  const int nodes = static_cast<int>(env_long("CMAP_BENCH_NODES", 120));
+  constexpr int kReps = 3;
+  print_header("Trace subsystem: recording overhead on the dense grid",
+               "no paper claim — bounded-overhead guarantee of the trace "
+               "subsystem",
+               s);
+  std::printf("nodes: %d (CMAP_BENCH_NODES), reps: %d (interleaved, min)\n",
+              nodes, kReps);
+
+  testbed::TestbedConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = s.seed;
+  const testbed::Testbed tb(cfg);
+
+  const std::string trace_dir =
+      (std::filesystem::temp_directory_path() / "cmap_trace_bench").string();
+  std::filesystem::create_directories(trace_dir);
+
+  // Interleave the modes so slow drift (thermal, a noisy neighbor arriving
+  // mid-bench) hits all three alike instead of biasing whichever ran last.
+  double untraced_ms = 1e300, disabled_ms = 1e300, enabled_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    untraced_ms =
+        std::min(untraced_ms, run_once(s, tb, Mode::kUntraced, trace_dir));
+    disabled_ms =
+        std::min(disabled_ms, run_once(s, tb, Mode::kDisabled, trace_dir));
+    enabled_ms =
+        std::min(enabled_ms, run_once(s, tb, Mode::kEnabled, trace_dir));
+  }
+
+  // Bytes written by one enabled-mode sweep (the files the last rep left).
+  std::uint64_t trace_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir)) {
+    if (entry.path().extension() == ".cmtrace") {
+      trace_bytes += entry.file_size();
+    }
+  }
+
+  // Floor the denominator at one clock quantum so a sub-resolution run
+  // reads as very fast, not as a division by zero.
+  const double floor_ms = 1000.0 / CLOCKS_PER_SEC;
+  const double overhead_off =
+      disabled_ms / std::max(untraced_ms, floor_ms);
+  const double overhead_on = enabled_ms / std::max(untraced_ms, floor_ms);
+
+  std::printf("untraced:              %8.1f CPU-ms (min of %d)\n",
+              untraced_ms, kReps);
+  std::printf("tracer attached, off:  %8.1f CPU-ms  -> x%.3f\n", disabled_ms,
+              overhead_off);
+  std::printf("phy+mac recorded:      %8.1f CPU-ms  -> x%.3f, %llu bytes\n",
+              enabled_ms, overhead_on,
+              static_cast<unsigned long long>(trace_bytes));
+
+  stats::SweepReport report;
+  stats::RunRow timing;
+  timing.scenario = "trace_bench";
+  timing.scheme = "timing";
+  timing.topology = "cpu-time";
+  // Knob values ride along so the regression gate can reject a comparison
+  // whose workload drifted from the baseline's; trace_overhead_off is
+  // gated as a fixed maximum, everything else is informational (the raw
+  // timings only exist as the ratio's terms, and enabled-mode cost scales
+  // with the chosen category mask).
+  timing.metrics = {{"nodes", static_cast<double>(nodes)},
+                    {"configs", static_cast<double>(s.configs)},
+                    {"run_seconds", sim::to_seconds(s.duration)},
+                    {"threads", static_cast<double>(make_runner(s).threads())},
+                    {"trace_untraced_cpu_ms", untraced_ms},
+                    {"trace_disabled_cpu_ms", disabled_ms},
+                    {"trace_enabled_cpu_ms", enabled_ms},
+                    {"trace_overhead_off", overhead_off},
+                    {"trace_overhead_on", overhead_on},
+                    {"trace_bytes", static_cast<double>(trace_bytes)},
+                    {"calibration_ms", calibration_ms()}};
+  report.add_row(std::move(timing));
+
+  maybe_write_json(report);
+  std::filesystem::remove_all(trace_dir);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "phy/medium.h"
 #include "sim/assert.h"
 
 namespace cmap::core {
@@ -29,6 +30,36 @@ DeferDecision DeferDecider::decide(phy::NodeId dst, phy::WifiRate my_rate,
         annotate_rates_ ? tx.data_rate : kAnyRate;
     if (dst_busy ||
         table_.should_defer(dst, tx.src, tx.dst, now, my_rate, their_rate)) {
+      d.defer = true;
+      until = std::min(until, tx.end_time);
+    }
+  });
+  if (d.defer) d.until = until;
+  return d;
+}
+
+DeferDecision DeferDecider::decide_explain(phy::NodeId dst,
+                                           phy::WifiRate my_rate,
+                                           sim::Time now,
+                                           DeferDebug* debug) const {
+  DeferDecision d;
+  sim::Time until = sim::kTimeForever;
+  *debug = DeferDebug{};
+  ongoing_.for_each_active(now, [&](const OngoingTx& tx) {
+    if (tx.src == self_) return;
+    const bool dst_busy = tx.src == dst || tx.dst == dst;
+    const phy::WifiRate their_rate =
+        annotate_rates_ ? tx.data_rate : kAnyRate;
+    const bool map_hit =
+        !dst_busy &&
+        table_.should_defer(dst, tx.src, tx.dst, now, my_rate, their_rate);
+    if (dst_busy || map_hit) {
+      if (!d.defer) {
+        debug->reason = dst_busy ? trace::DeferReason::kDstBusy
+                                 : trace::DeferReason::kConflictMap;
+        debug->blocker_src = tx.src;
+        debug->blocker_dst = tx.dst;
+      }
       d.defer = true;
       until = std::min(until, tx.end_time);
     }
@@ -83,6 +114,9 @@ CmapMac::CmapMac(sim::Simulator& simulator, phy::Radio& radio,
                config.interferer_halflife) {
   CMAP_ASSERT(config_.mode != PhyMode::kIntegrated || config_.nvpkt == 1,
               "integrated mode carries one packet per frame");
+  trace_.bind(radio_.medium().tracer(), radio_.id());
+  defer_table_.set_tracer(trace_.tracer, radio_.id());
+  ongoing_.set_tracer(trace_.tracer, radio_.id());
   radio_.set_listener(this);
   schedule_ilist();
 }
@@ -181,6 +215,15 @@ bool CmapMac::check_defer(phy::NodeId dst, sim::Time* recheck_at) {
                                      ? d.decide(dst, my_rate, now)
                                      : d.decide_reference(dst, my_rate, now);
   if (decision.defer) *recheck_at = decision.until + config_.t_deferwait;
+  if (trace_.wants(trace::Category::kMacDefer)) {
+    // Off the hot path: re-derive the blocking transmission and rule only
+    // when this category is enabled (and only deferrals need the re-walk).
+    DeferDebug dbg;
+    if (decision.defer) d.decide_explain(dst, my_rate, now, &dbg);
+    trace_.tracer->mac_defer(now, trace_.self, dst, decision.defer,
+                             dbg.reason, dbg.blocker_src, dbg.blocker_dst,
+                             decision.defer ? decision.until : 0);
+  }
   return decision.defer;
 }
 
@@ -532,7 +575,7 @@ void CmapMac::handle_delimiter(const VpDescriptor& d, bool is_trailer,
   } else {
     ++counters_.headers_heard;
   }
-  ongoing_.note(d, is_trailer ? sim_.now() : vp_end);
+  ongoing_.note(d, is_trailer ? sim_.now() : vp_end, sim_.now());
 
   // Record the transmission for loss attribution regardless of audience.
   if (d.src != radio_.id()) {

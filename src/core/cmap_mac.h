@@ -42,6 +42,15 @@ struct DeferDecision {
   sim::Time until = 0;
 };
 
+/// Why a deferral happened, for tracing: the first blocking ongoing
+/// transmission (in note order) and which rule it tripped. Filled by
+/// DeferDecider::decide_explain; meaningless when the decision was "send".
+struct DeferDebug {
+  trace::DeferReason reason = trace::DeferReason::kNone;
+  phy::NodeId blocker_src = 0;
+  phy::NodeId blocker_dst = 0;
+};
+
 /// The CMAP send decision as one pass: for every live ongoing transmission
 /// p -> q, defer if the destination is a party to it or if this node's
 /// slice of the conflict map holds a matching defer pattern. The fast path
@@ -64,6 +73,12 @@ class DeferDecider {
                        sim::Time now) const;
   DeferDecision decide_reference(phy::NodeId dst, phy::WifiRate my_rate,
                                  sim::Time now) const;
+  /// decide(), but also reports which transmission blocked and why. Used
+  /// off the hot path (only when kMacDefer tracing is enabled), so it
+  /// re-walks the ongoing ring; lazy reclamation makes the second walk
+  /// observationally identical to the first.
+  DeferDecision decide_explain(phy::NodeId dst, phy::WifiRate my_rate,
+                               sim::Time now, DeferDebug* debug) const;
 
  private:
   const OngoingList& ongoing_;
@@ -206,6 +221,7 @@ class CmapMac final : public mac::Mac, public phy::RadioListener {
   phy::Radio& radio_;
   CmapConfig config_;
   sim::Rng rng_;
+  trace::TraceHook trace_;
 
   RxHandler rx_handler_;
   DrainHandler drain_handler_;

@@ -1,6 +1,7 @@
 #include "core/defer_table.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace cmap::core {
 namespace {
@@ -40,8 +41,14 @@ void DeferTable::link(std::uint32_t idx) const {
   }
 }
 
-void DeferTable::unlink(std::uint32_t idx) const {
+void DeferTable::unlink(std::uint32_t idx, sim::Time now) const {
   Slot& s = slots_[idx];
+  if (trace_.wants(trace::Category::kDeferTable)) {
+    trace_.tracer->defer_table(
+        now, trace_.self, trace::DeferTableOp::kExpire, s.e.dst, s.e.src,
+        s.e.via, static_cast<std::uint32_t>(s.e.my_rate),
+        static_cast<std::uint32_t>(s.e.their_rate), s.e.expires);
+  }
   if (s.e.dst == phy::kBroadcastId) {
     const auto it = by_src_via_.find(pair_key(s.e.src, s.e.via));
     if (it != by_src_via_.end()) remove_from_bucket(it->second, idx);
@@ -58,7 +65,8 @@ void DeferTable::unlink(std::uint32_t idx) const {
   --live_count_;
 }
 
-void DeferTable::upsert(DeferEntry e) {
+void DeferTable::upsert(DeferEntry e, sim::Time now) {
+  const bool traced = trace_.wants(trace::Category::kDeferTable);
   // An exact duplicate (same key fields including rates) refreshes the
   // existing entry's TTL in place — whether or not it has lapsed — so
   // re-reported conflicts never grow the table.
@@ -69,6 +77,12 @@ void DeferTable::upsert(DeferEntry e) {
         existing.via == e.via && existing.my_rate == e.my_rate &&
         existing.their_rate == e.their_rate) {
       existing.expires = e.expires;
+      if (traced) {
+        trace_.tracer->defer_table(
+            now, trace_.self, trace::DeferTableOp::kRefresh, e.dst, e.src,
+            e.via, static_cast<std::uint32_t>(e.my_rate),
+            static_cast<std::uint32_t>(e.their_rate), e.expires);
+      }
       return;
     }
   }
@@ -84,6 +98,12 @@ void DeferTable::upsert(DeferEntry e) {
   slots_[idx].live = true;
   ++live_count_;
   link(idx);
+  if (traced) {
+    trace_.tracer->defer_table(
+        now, trace_.self, trace::DeferTableOp::kInsert, e.dst, e.src, e.via,
+        static_cast<std::uint32_t>(e.my_rate),
+        static_cast<std::uint32_t>(e.their_rate), e.expires);
+  }
 }
 
 void DeferTable::apply_interferer_list(
@@ -101,7 +121,7 @@ void DeferTable::apply_interferer_list(
       e.dst = reporter;
       e.src = il.interferer;
       e.via = phy::kBroadcastId;
-      upsert(e);
+      upsert(e, now);
     }
     if (il.interferer == self) {
       // Rule 2: my transmissions to anyone trample il.source -> reporter.
@@ -113,7 +133,7 @@ void DeferTable::apply_interferer_list(
         e.my_rate = il.interferer_rate;
         e.their_rate = il.source_rate;
       }
-      upsert(e);
+      upsert(e, now);
     }
   }
 }
@@ -132,7 +152,7 @@ bool DeferTable::probe(Index& index, std::uint64_t key, sim::Time now,
       // Lazy TTL reclamation: unlink swap-pops idx out of this bucket (and
       // its sibling, for dual-wildcard entries), so i now names the entry
       // that was at the back — do not advance.
-      unlink(idx);
+      unlink(idx, now);
       continue;
     }
     if (rate_matches(e.my_rate, my_rate) &&
@@ -180,7 +200,7 @@ bool DeferTable::should_defer_reference(phy::NodeId my_dst, phy::NodeId p,
 
 void DeferTable::expire(sim::Time now) {
   for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
-    if (slots_[idx].live && slots_[idx].e.expires <= now) unlink(idx);
+    if (slots_[idx].live && slots_[idx].e.expires <= now) unlink(idx, now);
   }
 }
 
@@ -190,6 +210,23 @@ std::vector<DeferEntry> DeferTable::entries() const {
   for (const Slot& s : slots_) {
     if (s.live) out.push_back(s.e);
   }
+  return out;
+}
+
+std::vector<DeferEntry> DeferTable::snapshot(sim::Time now) const {
+  std::vector<DeferEntry> out;
+  out.reserve(live_count_);
+  for (const Slot& s : slots_) {
+    // entries() reports linked slots even past their TTL (lazy reclamation
+    // keeps them around until a probe touches them); the snapshot applies
+    // the TTL rule itself so it matches what any reader would reconstruct.
+    if (s.live && s.e.expires > now) out.push_back(s.e);
+  }
+  std::sort(out.begin(), out.end(), [](const DeferEntry& a,
+                                       const DeferEntry& b) {
+    return std::tie(a.dst, a.src, a.via, a.my_rate, a.their_rate) <
+           std::tie(b.dst, b.src, b.via, b.my_rate, b.their_rate);
+  });
   return out;
 }
 

@@ -31,6 +31,7 @@
 #include "core/wire.h"
 #include "phy/types.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace cmap::core {
 
@@ -47,6 +48,13 @@ class DeferTable {
  public:
   explicit DeferTable(sim::Time ttl, bool annotate_rates = false)
       : ttl_(ttl), annotate_rates_(annotate_rates) {}
+
+  /// Stream every mutation (insert / TTL refresh / expiry reclamation) as
+  /// kDeferTable records. `self` is the owning node's id — the table does
+  /// not otherwise know it. Trace emission never changes table behaviour.
+  void set_tracer(trace::Tracer* tracer, phy::NodeId self) {
+    trace_.bind(tracer, self);
+  }
 
   /// Apply both update rules for an interferer list received from
   /// `reporter`. `self` is this node's id. Re-reported conflicts refresh
@@ -83,6 +91,12 @@ class DeferTable {
   /// unspecified (slot order, which recycling perturbs).
   std::vector<DeferEntry> entries() const;
 
+  /// TTL-live entries at `now` (expires > now), sorted by (dst, src, via,
+  /// my_rate, their_rate) — the canonical order trace::DeferTableReplay
+  /// reports in, so a live table and a trace reconstruction compare
+  /// directly. Pure read: unlike the probes, never reclaims.
+  std::vector<DeferEntry> snapshot(sim::Time now) const;
+
  private:
   using Bucket = std::vector<std::uint32_t>;  // slot indices
   using Index = std::unordered_map<std::uint64_t, Bucket>;
@@ -98,15 +112,16 @@ class DeferTable {
   }
   static bool rate_matches(phy::WifiRate entry_rate, phy::WifiRate rate);
 
-  void upsert(DeferEntry e);
+  void upsert(DeferEntry e, sim::Time now);
   void link(std::uint32_t idx) const;
-  void unlink(std::uint32_t idx) const;
+  void unlink(std::uint32_t idx, sim::Time now) const;
   Bucket* primary_bucket(const DeferEntry& e);
   bool probe(Index& index, std::uint64_t key, sim::Time now,
              phy::WifiRate my_rate, phy::WifiRate their_rate) const;
 
   sim::Time ttl_;
   bool annotate_rates_;
+  trace::TraceHook trace_;
   // Mutable: should_defer is logically const but reclaims expired entries
   // it touches. The table is owned by one CmapMac on one simulation
   // thread, so this is not a concurrency hazard.

@@ -2,7 +2,8 @@
 
 namespace cmap::core {
 
-void OngoingList::note(const VpDescriptor& d, sim::Time end_time) {
+void OngoingList::note(const VpDescriptor& d, sim::Time end_time,
+                       sim::Time now) {
   CMAP_ASSERT(!walking_, "note() during an OngoingList walk");
   // A pair already on the ring — expired or not — is updated in place,
   // exactly as the flat-vector representation did.
@@ -11,6 +12,10 @@ void OngoingList::note(const VpDescriptor& d, sim::Time end_time) {
     if (tx.src == d.src && tx.dst == d.dst) {
       tx.end_time = end_time;
       tx.data_rate = d.data_rate;
+      if (trace_.wants(trace::Category::kOngoing)) {
+        trace_.tracer->ongoing(now, trace_.self, trace::OngoingOp::kUpdate,
+                               d.src, d.dst, end_time);
+      }
       return;
     }
   }
@@ -33,10 +38,18 @@ void OngoingList::note(const VpDescriptor& d, sim::Time end_time) {
   }
   tail_ = idx;
   ++live_count_;
+  if (trace_.wants(trace::Category::kOngoing)) {
+    trace_.tracer->ongoing(now, trace_.self, trace::OngoingOp::kNote, d.src,
+                           d.dst, end_time);
+  }
 }
 
-void OngoingList::release(std::uint32_t idx) const {
+void OngoingList::release(std::uint32_t idx, sim::Time now) const {
   Node& n = slots_[idx];
+  if (trace_.wants(trace::Category::kOngoing)) {
+    trace_.tracer->ongoing(now, trace_.self, trace::OngoingOp::kExpire,
+                           n.tx.src, n.tx.dst, n.tx.end_time);
+  }
   if (n.prev != kNil) {
     slots_[n.prev].next = n.next;
   } else {
@@ -61,7 +74,7 @@ bool OngoingList::node_busy(phy::NodeId node, sim::Time now) const {
     Node& n = slots_[idx];
     const std::uint32_t next = n.next;
     if (n.tx.end_time <= now) {
-      release(idx);
+      release(idx, now);
     } else if (n.tx.src == node || n.tx.dst == node) {
       busy = true;
       break;
@@ -88,7 +101,7 @@ sim::Time OngoingList::end_of(phy::NodeId src, phy::NodeId dst,
     Node& n = slots_[idx];
     const std::uint32_t next = n.next;
     if (n.tx.end_time <= now) {
-      release(idx);
+      release(idx, now);
     } else if (n.tx.src == src && n.tx.dst == dst) {
       end = n.tx.end_time;
       break;
@@ -103,7 +116,7 @@ void OngoingList::expire(sim::Time now) {
   std::uint32_t idx = head_;
   while (idx != kNil) {
     const std::uint32_t next = slots_[idx].next;
-    if (slots_[idx].tx.end_time <= now) release(idx);
+    if (slots_[idx].tx.end_time <= now) release(idx, now);
     idx = next;
   }
 }

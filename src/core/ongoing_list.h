@@ -18,6 +18,7 @@
 #include "phy/types.h"
 #include "sim/assert.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace cmap::core {
 
@@ -30,11 +31,24 @@ struct OngoingTx {
 
 class OngoingList {
  public:
+  /// Stream entry transitions (note / in-place update / expiry) as
+  /// kOngoing records. `self` is the owning node's id.
+  void set_tracer(trace::Tracer* tracer, phy::NodeId self) {
+    trace_.bind(tracer, self);
+  }
+
   /// Record an overheard/salvaged header or trailer announcing that the
   /// transmission d.src -> d.dst lasts until `end_time` (trailers pass the
   /// current time, which closes the entry). Re-noting a known pair updates
   /// it in place; new pairs reuse a free slot before growing the pool.
-  void note(const VpDescriptor& d, sim::Time end_time);
+  /// `now` is only consumed by tracing (the transition's timestamp).
+  void note(const VpDescriptor& d, sim::Time end_time, sim::Time now);
+
+  /// Untraced convenience (tests): stamps the transition at end_time,
+  /// which is only observable when a tracer is bound.
+  void note(const VpDescriptor& d, sim::Time end_time) {
+    note(d, end_time, end_time);
+  }
 
   /// True if `node` appears as source or destination of a live entry —
   /// the "v is neither sending nor receiving" check. An entry is live
@@ -61,7 +75,7 @@ class OngoingList {
       Node& n = slots_[idx];
       const std::uint32_t next = n.next;
       if (n.tx.end_time <= now) {
-        release(idx);
+        release(idx, now);
       } else {
         const OngoingTx& tx = n.tx;
         fn(tx);
@@ -103,8 +117,9 @@ class OngoingList {
     bool& walking_;
   };
 
-  void release(std::uint32_t idx) const;
+  void release(std::uint32_t idx, sim::Time now) const;
 
+  trace::TraceHook trace_;
   // Mutable: reads are logically const but reclaim expired entries they
   // walk over. One CmapMac owns the list on one simulation thread.
   mutable std::vector<Node> slots_;

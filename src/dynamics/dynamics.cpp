@@ -13,6 +13,7 @@ Dynamics::Dynamics(sim::Simulator& simulator, phy::Medium& medium,
       config_(config) {
   CMAP_ASSERT(config_.channel.has_value() == (channel_ != nullptr),
               "channel config and DynamicShadowing model must come together");
+  trace_.bind(medium_.tracer());
   if (config_.mobility) {
     mobility_ = std::make_unique<MobilityModel>(
         sim_, medium_, *config_.mobility,
@@ -27,6 +28,10 @@ void Dynamics::start() {
 
 void Dynamics::channel_step() {
   channel_->advance_epoch();
+  ++epoch_;
+  if (trace_.wants(trace::Category::kChannelEpoch)) {
+    trace_.tracer->channel_epoch(sim_.now(), epoch_);
+  }
   // Every cached link gain is stale after an epoch step; this is the one
   // event where a full refresh is the *correct* cost, unlike a single
   // node's move (see MediumConfig::incremental_invalidation).

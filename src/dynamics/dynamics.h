@@ -15,6 +15,7 @@
 #include "phy/medium.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace cmap::dynamics {
 
@@ -48,6 +49,8 @@ class Dynamics {
   std::shared_ptr<DynamicShadowing> channel_;
   DynamicsConfig config_;
   std::unique_ptr<MobilityModel> mobility_;
+  trace::TraceHook trace_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace cmap::dynamics

@@ -11,6 +11,7 @@ namespace cmap::dynamics {
 MobilityModel::MobilityModel(sim::Simulator& simulator, phy::Medium& medium,
                              MobilityConfig config, sim::Rng rng)
     : sim_(simulator), medium_(medium), config_(config), rng_(rng) {
+  trace_.bind(medium_.tracer());
   CMAP_ASSERT(config_.tick > 0, "mobility tick must be positive");
   CMAP_ASSERT(config_.width_m > 0.0 && config_.height_m > 0.0,
               "mobility needs floor bounds");
@@ -131,6 +132,9 @@ void MobilityModel::step_node(NodeState& st, phy::Radio& radio, double dt_s,
   }
   radio.set_position(p);
   ++moves_;
+  if (trace_.wants(trace::Category::kMove)) {
+    trace_.tracer->move(now, st.id, p.x, p.y);
+  }
 }
 
 void MobilityModel::tick() {

@@ -28,6 +28,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace cmap::dynamics {
 
@@ -90,6 +91,7 @@ class MobilityModel {
   phy::Medium& medium_;
   MobilityConfig config_;
   sim::Rng rng_;
+  trace::TraceHook trace_;
   bool initialized_ = false;
   std::vector<phy::NodeId> mobile_;
   std::vector<NodeState> states_;

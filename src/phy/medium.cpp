@@ -180,6 +180,12 @@ void Medium::deliver_one(Radio& target, const Link& link,
 
 void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
   const sim::Time now = sim_.now();
+  if (trace_.wants(trace::Category::kPhyTx)) {
+    trace_.tracer->phy_tx(now, source.id(), frame->id,
+                          static_cast<std::uint32_t>(frame->rate),
+                          static_cast<std::uint32_t>(frame->size_bytes()),
+                          frame->duration);
+  }
   if (config_.enable_gain_cache) {
     const std::uint32_t si = index_of(source.id());
     CMAP_ASSERT(si != kNoIndex, "transmit from unattached radio");

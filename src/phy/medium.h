@@ -24,6 +24,7 @@
 #include "phy/types.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace cmap::phy {
 
@@ -94,6 +95,14 @@ class Medium {
 
   std::uint64_t next_frame_id() { return ++frame_id_; }
 
+  /// Attach (or detach, with nullptr) the run's Tracer. The medium is the
+  /// natural anchor: every instrumented component already reaches it
+  /// (radios attach to it, MACs own a radio, dynamics hold a reference),
+  /// so each binds its own cached-mask TraceHook from here. Call before
+  /// radios are attached — Radio binds in its constructor.
+  void set_tracer(trace::Tracer* tracer) { trace_.bind(tracer); }
+  trace::Tracer* tracer() const { return trace_.tracer; }
+
   sim::Simulator& simulator() { return sim_; }
   const MediumConfig& config() const { return config_; }
   const PropagationModel& propagation() const { return *propagation_; }
@@ -122,6 +131,7 @@ class Medium {
   sim::Simulator& sim_;
   std::shared_ptr<const PropagationModel> propagation_;
   MediumConfig config_;
+  trace::TraceHook trace_;
   sim::Rng rng_;  // seed material for per-(frame, receiver) fading draws
   std::vector<Radio*> radios_;
   std::vector<std::uint32_t> index_by_id_;       // NodeId -> attach index

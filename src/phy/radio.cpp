@@ -31,6 +31,7 @@ Radio::Radio(sim::Simulator& simulator, Medium& medium, NodeId id,
       capture_ratio_(db_to_linear(config.capture_margin_db)),
       preamble_min_sinr_(db_to_linear(config.preamble_min_sinr_db)) {
   medium_.attach(this);
+  trace_.bind(medium_.tracer(), id_);
 }
 
 const Signal* Radio::find_signal(std::uint64_t frame_id) const {
@@ -49,6 +50,10 @@ void Radio::transmit(Frame frame) {
   CMAP_ASSERT(state_ != State::kTx, "transmit while already transmitting");
   if (state_ == State::kRx) {
     ++counters_.aborted_by_tx;
+    if (trace_.wants(trace::Category::kPhyCollision)) {
+      trace_.tracer->phy_collision(sim_.now(), id_, lock_frame_id_,
+                                   trace::CollisionReason::kLocalTx);
+    }
     abort_rx();
   }
   frame.id = medium_.next_frame_id();
@@ -110,11 +115,19 @@ void Radio::evaluate_preamble(std::uint64_t frame_id) {
       tracker_.min_sinr(frame_id, sig->start, sig->start + kPlcpDuration);
   if (sinr < preamble_min_sinr_) {
     ++counters_.preamble_failures;
+    if (trace_.wants(trace::Category::kPhyCollision)) {
+      trace_.tracer->phy_collision(sim_.now(), id_, frame_id,
+                                   trace::CollisionReason::kPreambleSinr);
+    }
     return;
   }
 
   if (state_ == State::kRx) {
     ++counters_.aborted_by_capture;
+    if (trace_.wants(trace::Category::kPhyCollision)) {
+      trace_.tracer->phy_collision(sim_.now(), id_, lock_frame_id_,
+                                   trace::CollisionReason::kCaptured);
+    }
     abort_rx();
   }
   lock(*sig);
@@ -212,6 +225,15 @@ void Radio::finish_rx() {
     ++counters_.rx_ok;
   } else {
     ++counters_.rx_corrupt;
+  }
+  if (trace_.wants(trace::Category::kPhyRx)) {
+    // Centi-dB, clamped: worst_db is a +-1e9 sentinel when every segment
+    // verdict was precomputed (integrated header path).
+    const double cdb = std::clamp(result.min_sinr_db * 100.0, -20000.0,
+                                  20000.0);
+    trace_.tracer->phy_rx(sim_.now(), id_, sig->frame->id,
+                          sig->frame->tx_node, result.all_ok(),
+                          static_cast<std::int32_t>(cdb));
   }
 
   auto frame = sig->frame;  // keep alive across listener call

@@ -21,6 +21,7 @@
 #include "phy/types.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace cmap::phy {
 
@@ -111,6 +112,9 @@ class Radio {
   bool carrier_busy() const;
 
   NodeId id() const { return id_; }
+  /// The medium this radio is attached to (MACs bind their TraceHooks
+  /// through it).
+  Medium& medium() const { return medium_; }
   const Position& position() const { return position_; }
   /// Move the radio; the medium re-caches this radio's link gains and
   /// reachability.
@@ -168,6 +172,7 @@ class Radio {
   sim::Time tx_start_ = -1;
   sim::Time tx_end_ = -1;
 
+  trace::TraceHook trace_;
   bool last_cca_busy_ = false;
   double sinr_scale_;  // linear implementation loss
   double cs_signal_mw_;

@@ -23,6 +23,19 @@ std::uint64_t hash_name(const std::string& name) {
   return h;
 }
 
+std::string trace_run_path(const std::string& dir, const std::string& scenario,
+                           const RunSpec& spec) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += scenario;
+  path += "_s" + std::to_string(spec.scheme_index);
+  path += "_v" + std::to_string(spec.variant_index);
+  path += "_t" + std::to_string(spec.topology_index);
+  path += "_r" + std::to_string(spec.replicate);
+  path += ".cmtrace";
+  return path;
+}
+
 SweepRunner::SweepRunner(int threads)
     : threads_(threads > 0 ? threads : sim::default_thread_count()) {}
 
@@ -99,6 +112,11 @@ stats::SweepReport SweepRunner::run(const Sweep& sweep,
             : &sweep.variants[static_cast<std::size_t>(spec.variant_index)];
     if (variant && variant->apply) variant->apply(config);
     config.seed = spec.seed;
+    if (sweep.trace && !sweep.trace->path.empty()) {
+      trace::TraceConfig tc = *sweep.trace;
+      tc.path = trace_run_path(sweep.trace->path, scenario.name, spec);
+      config.trace = tc;
+    }
 
     const TopologyInstance& topo =
         topologies[static_cast<std::size_t>(spec.topology_index)];

@@ -17,6 +17,7 @@
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "stats/report.h"
+#include "trace/trace.h"
 
 namespace cmap::scenario {
 
@@ -39,6 +40,12 @@ struct Sweep {
   /// Override the scenario's default run length / measurement warmup.
   std::optional<sim::Time> duration;
   std::optional<sim::Time> warmup;
+  /// When set, every run emits a binary event trace. `trace->path` names a
+  /// DIRECTORY; each run writes `trace_run_path(path, scenario, spec)`
+  /// inside it (deterministic per cell, so reruns overwrite in place).
+  /// Categories / sampling apply to every run. Tracing never perturbs
+  /// results — the report is identical with or without it.
+  std::optional<trace::TraceConfig> trace;
 };
 
 /// One expanded cell of a sweep's cartesian product.
@@ -58,6 +65,11 @@ std::uint64_t mix_seed(std::initializer_list<std::uint64_t> parts);
 
 /// FNV-1a, used to fold scenario names into the seed mix.
 std::uint64_t hash_name(const std::string& name);
+
+/// Deterministic per-run trace filename for a sweep cell:
+/// `<dir>/<scenario>_s<scheme>_v<variant>_t<topology>_r<replicate>.cmtrace`.
+std::string trace_run_path(const std::string& dir, const std::string& scenario,
+                           const RunSpec& spec);
 
 class SweepRunner {
  public:

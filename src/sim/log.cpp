@@ -1,5 +1,7 @@
 #include "sim/log.h"
 
+#include "trace/trace.h"
+
 namespace cmap::sim {
 namespace {
 LogLevel g_level = LogLevel::kNone;
@@ -10,6 +12,12 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 void log_line(LogLevel level, Time now, const std::string& component,
               const std::string& message) {
+  // Trace first: a bound tracer with kLog enabled captures log lines even
+  // when the stderr level filters them out, so one observability path
+  // (the trace) holds everything about a run.
+  if (trace::Tracer* t = trace::Tracer::thread_active()) {
+    t->log(now, static_cast<std::uint32_t>(level), component, message);
+  }
   if (level > g_level) return;
   const char* tag = level == LogLevel::kError  ? "E"
                     : level == LogLevel::kInfo ? "I"

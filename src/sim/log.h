@@ -1,5 +1,8 @@
 // Minimal leveled logging tied to simulated time. Off by default so that
 // benchmark runs pay nothing; tests and examples can raise the level.
+// When the calling thread has an active trace::Tracer with the kLog
+// category enabled, every line is also recorded in the trace (regardless
+// of the stderr level), making the trace the single observability path.
 #pragma once
 
 #include <cstdio>

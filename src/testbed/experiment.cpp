@@ -50,6 +50,12 @@ World::World(const Testbed& tb, const RunConfig& config)
                                    channel_)
                              : tb.propagation(),
               tb.config().medium, sim::Rng(config.seed).substream(0xbead, 0)) {
+  // The tracer must be bound into the medium before any radio, MAC, or
+  // dynamics hook binds (each caches the tracer pointer at construction).
+  if (config_.trace && !config_.trace->path.empty()) {
+    tracer_ = std::make_unique<trace::Tracer>(*config_.trace);
+    medium_.set_tracer(tracer_.get());
+  }
   if (config_.dynamics &&
       (config_.dynamics->mobility || config_.dynamics->channel)) {
     // Resolve defaults in place so config() reports the effective values.

@@ -17,6 +17,7 @@
 #include "phy/radio.h"
 #include "sim/simulator.h"
 #include "testbed/testbed.h"
+#include "trace/trace.h"
 
 namespace cmap::testbed {
 
@@ -62,6 +63,11 @@ struct RunConfig {
   // default to the testbed's floor; the channel model wraps the testbed's
   // propagation per run, seeded from (its own seed, the run seed).
   std::optional<dynamics::DynamicsConfig> dynamics;
+  // Event tracing: when set (and the path non-empty), the World opens a
+  // Tracer over the configured categories and every subsystem streams into
+  // it. Tracing never draws randomness or schedules events, so a traced
+  // run's results are identical to an untraced one's.
+  std::optional<trace::TraceConfig> trace;
 };
 
 /// A live simulation world. Benches with bespoke needs (mesh phases,
@@ -94,6 +100,9 @@ class World {
   const RunConfig& config() const { return config_; }
   /// The dynamics subsystem, when config().dynamics is set (else nullptr).
   const dynamics::Dynamics* dynamics() const { return dynamics_.get(); }
+  /// The run's tracer, when config().trace is set (else nullptr). Tests
+  /// use it to mark stream positions (records_written) mid-run.
+  trace::Tracer* tracer() const { return tracer_.get(); }
 
  private:
   struct NodeState {
@@ -108,6 +117,9 @@ class World {
   RunConfig config_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  // Owns the trace stream; bound into medium_ before any node or dynamics
+  // instrumentation binds its hook (they cache the tracer pointer).
+  std::unique_ptr<trace::Tracer> tracer_;
   // Per-run channel wrapper (nullptr without channel dynamics); must
   // outlive and precede medium_, which holds it as its propagation model.
   std::shared_ptr<dynamics::DynamicShadowing> channel_;

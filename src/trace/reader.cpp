@@ -1,0 +1,288 @@
+#include "trace/reader.h"
+
+#include <cstdio>
+
+namespace cmap::trace {
+namespace {
+
+// Bounded field decoder over one record's payload bytes.
+struct FieldReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (!wire::get_varint(data, size, &pos, &v)) ok = false;
+    return v;
+  }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
+  std::int64_t s64() { return wire::unzigzag(u64()); }
+  sim::Time time() { return static_cast<sim::Time>(u64()); }
+  bool boolean() {
+    if (pos >= size) {
+      ok = false;
+      return false;
+    }
+    return data[pos++] != 0;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!ok || pos + n > size) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos),
+                  static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// All payload bytes consumed, nothing trailing.
+  bool done() const { return ok && pos == size; }
+};
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail("cannot open '" + path + "'");
+    return;
+  }
+  char buf[64 * 1024];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes_.insert(bytes_.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  parse_header();
+}
+
+TraceReader::TraceReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  parse_header();
+}
+
+void TraceReader::fail(const std::string& what) {
+  if (error_.empty()) error_ = what;
+}
+
+void TraceReader::parse_header() {
+  if (bytes_.size() < 5 || bytes_[0] != 'C' || bytes_[1] != 'M' ||
+      bytes_[2] != 'T' || bytes_[3] != 'R') {
+    fail("not a cmtrace file (bad magic)");
+    return;
+  }
+  if (bytes_[4] != 1) {
+    fail("unsupported cmtrace version " + std::to_string(bytes_[4]));
+    return;
+  }
+  pos_ = 5;
+  std::uint64_t mask = 0, count = 0;
+  if (!wire::get_varint(bytes_.data(), bytes_.size(), &pos_, &mask) ||
+      !wire::get_varint(bytes_.data(), bytes_.size(), &pos_, &count)) {
+    fail("truncated header");
+    return;
+  }
+  if (count > 64) {
+    fail("implausible category count in header");
+    return;
+  }
+  categories_ = static_cast<std::uint32_t>(mask);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t every = 0;
+    if (!wire::get_varint(bytes_.data(), bytes_.size(), &pos_, &every)) {
+      fail("truncated header");
+      return;
+    }
+    sample_every_.push_back(static_cast<std::uint32_t>(every));
+  }
+}
+
+bool TraceReader::parse_body(Category c, const std::uint8_t* data,
+                             std::size_t size, Record* out) {
+  FieldReader f{data, size};
+  switch (c) {
+    case Category::kPhyTx: {
+      PhyTxRecord r;
+      r.node = f.u32();
+      r.frame_id = f.u64();
+      r.rate = f.u32();
+      r.bytes = f.u32();
+      r.duration = f.time();
+      out->body = r;
+      break;
+    }
+    case Category::kPhyRx: {
+      PhyRxRecord r;
+      r.node = f.u32();
+      r.frame_id = f.u64();
+      r.tx_node = f.u32();
+      r.ok = f.boolean();
+      r.min_sinr_cdb = static_cast<std::int32_t>(f.s64());
+      out->body = r;
+      break;
+    }
+    case Category::kPhyCollision: {
+      PhyCollisionRecord r;
+      r.node = f.u32();
+      r.frame_id = f.u64();
+      r.reason = static_cast<CollisionReason>(f.u32());
+      out->body = r;
+      break;
+    }
+    case Category::kMacDefer: {
+      MacDeferRecord r;
+      r.node = f.u32();
+      r.dst = f.u32();
+      r.deferred = f.boolean();
+      r.reason = static_cast<DeferReason>(f.u32());
+      r.blocker_src = f.u32();
+      r.blocker_dst = f.u32();
+      r.until = f.time();
+      out->body = r;
+      break;
+    }
+    case Category::kDeferTable: {
+      DeferTableRecord r;
+      r.node = f.u32();
+      r.op = static_cast<DeferTableOp>(f.u32());
+      r.dst = f.u32();
+      r.src = f.u32();
+      r.via = f.u32();
+      r.my_rate = f.u32();
+      r.their_rate = f.u32();
+      r.expires = f.time();
+      out->body = r;
+      break;
+    }
+    case Category::kOngoing: {
+      OngoingRecord r;
+      r.node = f.u32();
+      r.op = static_cast<OngoingOp>(f.u32());
+      r.src = f.u32();
+      r.dst = f.u32();
+      r.end_time = f.time();
+      out->body = r;
+      break;
+    }
+    case Category::kMove: {
+      MoveRecord r;
+      r.node = f.u32();
+      r.x_mm = f.s64();
+      r.y_mm = f.s64();
+      out->body = r;
+      break;
+    }
+    case Category::kChannelEpoch: {
+      ChannelEpochRecord r;
+      r.epoch = f.u64();
+      out->body = r;
+      break;
+    }
+    case Category::kLog: {
+      LogRecord r;
+      r.level = f.u32();
+      r.component = f.str();
+      r.message = f.str();
+      out->body = r;
+      break;
+    }
+    case Category::kCount:
+      return false;
+  }
+  return f.done();
+}
+
+bool TraceReader::next(Record* out) {
+  if (!ok() || pos_ >= bytes_.size()) return false;
+  const std::size_t record_start = pos_;
+  std::uint64_t len = 0;
+  if (!wire::get_varint(bytes_.data(), bytes_.size(), &pos_, &len)) {
+    fail("truncated record length at byte " + std::to_string(record_start));
+    return false;
+  }
+  if (pos_ + len > bytes_.size()) {
+    fail("truncated record at byte " + std::to_string(record_start) +
+         " (need " + std::to_string(len) + " bytes, have " +
+         std::to_string(bytes_.size() - pos_) + ")");
+    return false;
+  }
+  const std::size_t end = pos_ + static_cast<std::size_t>(len);
+  std::uint64_t cat = 0, delta = 0;
+  if (!wire::get_varint(bytes_.data(), end, &pos_, &cat) ||
+      !wire::get_varint(bytes_.data(), end, &pos_, &delta)) {
+    fail("truncated record header at byte " + std::to_string(record_start));
+    return false;
+  }
+  if (cat >= kCategoryCount) {
+    fail("unknown category " + std::to_string(cat) + " at byte " +
+         std::to_string(record_start));
+    return false;
+  }
+  out->category = static_cast<Category>(cat);
+  last_tick_ += static_cast<sim::Time>(delta);
+  out->tick = last_tick_;
+  if (!parse_body(out->category, bytes_.data() + pos_, end - pos_, out)) {
+    fail(std::string("malformed ") + category_name(out->category) +
+         " payload at byte " + std::to_string(record_start));
+    return false;
+  }
+  pos_ = end;
+  return true;
+}
+
+std::vector<Record> read_all(const std::string& path, std::string* error) {
+  TraceReader reader(path);
+  std::vector<Record> records;
+  Record r;
+  while (reader.next(&r)) records.push_back(r);
+  if (error != nullptr) *error = reader.error();
+  return records;
+}
+
+void DeferTableReplay::apply(const Record& r) {
+  if (r.category != Category::kDeferTable) return;
+  const auto& d = std::get<DeferTableRecord>(r.body);
+  auto& table = tables_[d.node];
+  const Key key{d.dst, d.src, d.via, d.my_rate, d.their_rate};
+  switch (d.op) {
+    case DeferTableOp::kInsert:
+    case DeferTableOp::kRefresh:
+      table[key] = d.expires;
+      break;
+    case DeferTableOp::kExpire:
+      // Reclamation only ever drops entries whose TTL lapsed; liveness is
+      // decided by `expires` alone, so nothing to do (see class comment).
+      break;
+  }
+}
+
+std::vector<DeferTableReplay::Entry> DeferTableReplay::live(
+    std::uint32_t node, sim::Time at) const {
+  std::vector<Entry> out;
+  const auto it = tables_.find(node);
+  if (it == tables_.end()) return out;
+  for (const auto& [key, expires] : it->second) {
+    if (expires <= at) continue;
+    Entry e;
+    e.dst = std::get<0>(key);
+    e.src = std::get<1>(key);
+    e.via = std::get<2>(key);
+    e.my_rate = std::get<3>(key);
+    e.their_rate = std::get<4>(key);
+    e.expires = expires;
+    out.push_back(e);
+  }
+  return out;  // std::map iteration == canonical key order
+}
+
+std::vector<std::uint32_t> DeferTableReplay::nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(tables_.size());
+  for (const auto& [node, table] : tables_) out.push_back(node);
+  return out;
+}
+
+}  // namespace cmap::trace

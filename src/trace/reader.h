@@ -1,0 +1,171 @@
+// Decoder for .cmtrace streams (the format Tracer writes; see
+// docs/trace_format.md) plus the conflict-map replayer the trace_dump tool
+// and the replay-consistency tests are built on. Malformed or truncated
+// input never decodes silently: next() stops and error() explains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace cmap::trace {
+
+struct PhyTxRecord {
+  std::uint32_t node = 0;
+  std::uint64_t frame_id = 0;
+  std::uint32_t rate = 0;
+  std::uint32_t bytes = 0;
+  sim::Time duration = 0;
+};
+
+struct PhyRxRecord {
+  std::uint32_t node = 0;
+  std::uint64_t frame_id = 0;
+  std::uint32_t tx_node = 0;
+  bool ok = false;
+  std::int32_t min_sinr_cdb = 0;  // centi-dB, clamped
+};
+
+struct PhyCollisionRecord {
+  std::uint32_t node = 0;
+  std::uint64_t frame_id = 0;
+  CollisionReason reason = CollisionReason::kPreambleSinr;
+};
+
+struct MacDeferRecord {
+  std::uint32_t node = 0;
+  std::uint32_t dst = 0;
+  bool deferred = false;
+  DeferReason reason = DeferReason::kNone;
+  std::uint32_t blocker_src = 0;
+  std::uint32_t blocker_dst = 0;
+  sim::Time until = 0;
+};
+
+struct DeferTableRecord {
+  std::uint32_t node = 0;
+  DeferTableOp op = DeferTableOp::kInsert;
+  std::uint32_t dst = 0;
+  std::uint32_t src = 0;
+  std::uint32_t via = 0;
+  std::uint32_t my_rate = 0;
+  std::uint32_t their_rate = 0;
+  sim::Time expires = 0;
+};
+
+struct OngoingRecord {
+  std::uint32_t node = 0;
+  OngoingOp op = OngoingOp::kNote;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  sim::Time end_time = 0;
+};
+
+struct MoveRecord {
+  std::uint32_t node = 0;
+  std::int64_t x_mm = 0;
+  std::int64_t y_mm = 0;
+};
+
+struct ChannelEpochRecord {
+  std::uint64_t epoch = 0;
+};
+
+struct LogRecord {
+  std::uint32_t level = 0;
+  std::string component;
+  std::string message;
+};
+
+struct Record {
+  Category category = Category::kPhyTx;
+  sim::Time tick = 0;  // absolute (deltas resolved by the reader)
+  std::variant<PhyTxRecord, PhyRxRecord, PhyCollisionRecord, MacDeferRecord,
+               DeferTableRecord, OngoingRecord, MoveRecord, ChannelEpochRecord,
+               LogRecord>
+      body;
+};
+
+class TraceReader {
+ public:
+  /// Read and decode the header from a file; ok() is false (with error())
+  /// if the file is missing, too short, or not a trace.
+  explicit TraceReader(const std::string& path);
+  /// Decode from an in-memory byte string (tests).
+  explicit TraceReader(std::vector<std::uint8_t> bytes);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Header fields.
+  std::uint32_t categories() const { return categories_; }
+  const std::vector<std::uint32_t>& sample_every() const {
+    return sample_every_;
+  }
+
+  /// Decode the next record. Returns false at clean end-of-stream AND on a
+  /// decode error — check error() to tell them apart (empty = clean EOF).
+  bool next(Record* out);
+
+ private:
+  void fail(const std::string& what);
+  void parse_header();
+  bool parse_body(Category c, const std::uint8_t* data, std::size_t size,
+                  Record* out);
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  sim::Time last_tick_ = 0;
+  std::uint32_t categories_ = 0;
+  std::vector<std::uint32_t> sample_every_;
+  std::string error_;
+};
+
+/// Convenience: decode every record of `path`. On malformed input, returns
+/// the records decoded so far and sets *error (never silently partial).
+std::vector<Record> read_all(const std::string& path, std::string* error);
+
+/// Reconstructs each node's DeferTable contents from a stream of
+/// kDeferTable records. Feed records in file order via apply(); live(node,
+/// at) then answers "which entries were live at time `at`" — an entry is
+/// live iff the most recent insert/refresh gave it expires > at, exactly
+/// DeferTable's TTL rule. Expire records need no replay action: the table
+/// only ever reclaims entries whose TTL already lapsed, so reclamation can
+/// never change the TTL-live set this class reports.
+///
+/// Requires the trace to carry kDeferTable unsampled (sample_every == 1);
+/// a decimated mutation stream cannot be replayed.
+class DeferTableReplay {
+ public:
+  struct Entry {
+    std::uint32_t dst = 0;
+    std::uint32_t src = 0;
+    std::uint32_t via = 0;
+    std::uint32_t my_rate = 0;
+    std::uint32_t their_rate = 0;
+    sim::Time expires = 0;
+  };
+
+  /// Apply one decoded record; records of other categories are ignored.
+  void apply(const Record& r);
+
+  /// Entries of `node`'s table live at time `at` (expires > at), sorted by
+  /// (dst, src, via, my_rate, their_rate) — a canonical order so two
+  /// reconstructions compare with ==.
+  std::vector<Entry> live(std::uint32_t node, sim::Time at) const;
+
+  /// Every node id that appeared in a defer-table record, sorted.
+  std::vector<std::uint32_t> nodes() const;
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t, std::uint32_t>;
+  std::map<std::uint32_t, std::map<Key, sim::Time>> tables_;
+};
+
+}  // namespace cmap::trace

@@ -1,0 +1,165 @@
+// End-to-end guarantees of tracing a live World:
+//   * determinism — the same RunConfig + seed produces a byte-identical
+//     .cmtrace file (records carry only simulated time and sim state),
+//   * non-interference — a traced run's results equal an untraced run's
+//     exactly (recording draws no randomness and schedules no events),
+// both with the dynamics subsystem (mobility + channel epochs) live so
+// every category has a chance to fire.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dynamics/dynamics.h"
+#include "testbed/experiment.h"
+#include "testbed/testbed.h"
+#include "trace/reader.h"
+
+namespace cmap::testbed {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+const Testbed& shared_testbed() {
+  static const Testbed tb{TestbedConfig{}};
+  return tb;
+}
+
+RunConfig base_config() {
+  RunConfig config;
+  config.scheme = Scheme::kCmap;
+  config.duration = sim::seconds(1);
+  config.warmup = sim::milliseconds(250);
+  config.seed = 7;
+  // Mobility + channel evolution so kMove and kChannelEpoch fire too.
+  dynamics::DynamicsConfig dc;
+  dc.mobility = dynamics::MobilityConfig{};
+  dc.mobility->mobile_fraction = 0.5;
+  dc.channel = dynamics::ChannelConfig{};
+  dc.channel->epoch = sim::milliseconds(200);
+  config.dynamics = dc;
+  return config;
+}
+
+std::vector<Flow> cross_flows() {
+  // A handful of crossing flows on the 50-node floor: enough contention
+  // for defer decisions, ongoing entries, and collisions to appear.
+  return {{0, 10}, {20, 10}, {5, 6}, {30, 31}, {40, 8}};
+}
+
+TEST(TraceWorld, SameConfigAndSeedGivesByteIdenticalTrace) {
+  const std::string path_a = ::testing::TempDir() + "trace_det_a.cmtrace";
+  const std::string path_b = ::testing::TempDir() + "trace_det_b.cmtrace";
+
+  for (const std::string& path : {path_a, path_b}) {
+    RunConfig config = base_config();
+    config.trace = trace::TraceConfig{};
+    config.trace->path = path;
+    run_flows(shared_testbed(), cross_flows(), config);
+  }
+
+  const auto a = slurp(path_a);
+  const auto b = slurp(path_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  // The stream is decodable end-to-end and actually carries events from
+  // several subsystems (an empty or near-empty trace would make the
+  // determinism check vacuous).
+  trace::TraceReader reader(path_a);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  std::uint64_t phy = 0, mac = 0, dyn = 0;
+  trace::Record r;
+  while (reader.next(&r)) {
+    const std::uint32_t b_ = trace::bit(r.category);
+    if (b_ & trace::kPhyCategories) ++phy;
+    if (b_ & trace::kMacCategories) ++mac;
+    if (b_ & trace::kDynamicsCategories) ++dyn;
+  }
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_GT(phy, 0u);
+  EXPECT_GT(mac, 0u);
+  EXPECT_GT(dyn, 0u);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(TraceWorld, DifferentSeedsGiveDifferentTraces) {
+  const std::string path_a = ::testing::TempDir() + "trace_seed_a.cmtrace";
+  const std::string path_b = ::testing::TempDir() + "trace_seed_b.cmtrace";
+  for (const auto& [path, seed] :
+       {std::pair<std::string, std::uint64_t>{path_a, 7},
+        std::pair<std::string, std::uint64_t>{path_b, 8}}) {
+    RunConfig config = base_config();
+    config.seed = seed;
+    config.trace = trace::TraceConfig{};
+    config.trace->path = path;
+    run_flows(shared_testbed(), cross_flows(), config);
+  }
+  EXPECT_NE(slurp(path_a), slurp(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(TraceWorld, TracingDoesNotChangeRunResults) {
+  RunConfig untraced = base_config();
+  const RunResult plain = run_flows(shared_testbed(), cross_flows(), untraced);
+
+  const std::string path = ::testing::TempDir() + "trace_noninterf.cmtrace";
+  RunConfig traced = base_config();
+  traced.trace = trace::TraceConfig{};
+  traced.trace->path = path;
+  const RunResult with_trace =
+      run_flows(shared_testbed(), cross_flows(), traced);
+
+  EXPECT_EQ(plain.aggregate_mbps, with_trace.aggregate_mbps);
+  ASSERT_EQ(plain.flows.size(), with_trace.flows.size());
+  for (std::size_t i = 0; i < plain.flows.size(); ++i) {
+    const FlowResult& p = plain.flows[i];
+    const FlowResult& t = with_trace.flows[i];
+    EXPECT_EQ(p.mbps, t.mbps) << "flow " << i;
+    EXPECT_EQ(p.unique_packets, t.unique_packets) << "flow " << i;
+    EXPECT_EQ(p.duplicates, t.duplicates) << "flow " << i;
+    EXPECT_EQ(p.vps_sent, t.vps_sent) << "flow " << i;
+    EXPECT_EQ(p.defer_events, t.defer_events) << "flow " << i;
+    EXPECT_EQ(p.retx_timeouts, t.retx_timeouts) << "flow " << i;
+    EXPECT_EQ(p.sender_stats.enqueued, t.sender_stats.enqueued)
+        << "flow " << i;
+    EXPECT_EQ(p.sender_stats.deferrals, t.sender_stats.deferrals)
+        << "flow " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorld, CategoryMaskLimitsWhatIsRecorded) {
+  const std::string path = ::testing::TempDir() + "trace_masked.cmtrace";
+  RunConfig config = base_config();
+  config.trace = trace::TraceConfig{};
+  config.trace->path = path;
+  config.trace->categories = trace::bit(trace::Category::kPhyTx);
+  run_flows(shared_testbed(), cross_flows(), config);
+
+  trace::TraceReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  std::uint64_t total = 0;
+  trace::Record r;
+  while (reader.next(&r)) {
+    EXPECT_EQ(r.category, trace::Category::kPhyTx);
+    ++total;
+  }
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_GT(total, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cmap::testbed

@@ -6,7 +6,7 @@ JSONs with a trailing "timing"-scheme row each) against the committed
 baseline, and optionally checks the fast-path speedup ratios from a Google
 Benchmark JSON produced by bench_micro.
 
-Four timing rows are gated today, matched by scenario name across however
+Five timing rows are gated today, matched by scenario name across however
 many --pr files are given:
   dense_grid_bench       (bench_dense_grid)      — simulation hot path
   testbed_measure_bench  (bench_testbed_measure) — measurement pass; its
@@ -21,6 +21,11 @@ many --pr files are given:
       row/column invalidation vs full O(n^2) rebuild per move) is enforced
       the same way, and mobility_states_match must be 1.0 (both policies
       left bit-identical caches).
+  trace_bench            (bench_trace)           — trace-subsystem cost; its
+      trace_overhead_off metric (CPU time with a Tracer attached but all
+      categories disabled vs untraced, both timed in the same process) is
+      enforced as a fixed maximum of 1.02: disabled instrumentation must
+      stay within 2% of free.
 
 Wall-clock comparisons (metrics ending in "_ms") are normalized by each
 row's own calibration_ms (a fixed CPU-bound workload timed on the same
@@ -57,13 +62,22 @@ MIN_KEYS = {"measure_speedup": "min_measure_speedup",
 # bench exists to catch, not a diagnostic.
 FIXED_MIN_KEYS = {"cache_hit": 1.0, "decisions_match": 1.0,
                   "mobility_states_match": 1.0}
+# Metrics enforced as fixed maximums (machine-independent ratios measured
+# within one process, like FIXED_MIN_KEYS but bounded from above):
+# trace_overhead_off is the CPU-time ratio of a sweep with a Tracer
+# attached but every category disabled vs the same sweep untraced — the
+# trace subsystem's bounded-overhead guarantee (each disabled site is one
+# branch on a cached mask) that makes it safe to leave compiled in.
+FIXED_MAX_KEYS = {"trace_overhead_off": 1.02}
 # Reported, never gated: non-timing diagnostics, plus the reference
 # oracles' runtimes — they exist only as denominators of the gated speedup
 # ratios, and their ~1 s baselines sit close enough to MIN_GATED_MS that
 # normalized-runtime gating would flake on shared runners without guarding
-# anything the speedup gates do not.
+# anything the speedup gates do not. The trace bench's raw mode timings
+# exist only as terms of the gated trace_overhead_off ratio.
 INFO_KEYS = {"max_abs_delta_prr", "table_entries", "decide_reference_cpu_ms",
-             "move_reference_cpu_ms"}
+             "move_reference_cpu_ms", "trace_untraced_cpu_ms",
+             "trace_disabled_cpu_ms", "trace_enabled_cpu_ms"}
 # Timings whose baseline is shorter than this are reported but not gated:
 # sub-second samples on shared CI runners are dominated by scheduler and
 # cache noise that the calibration ratio cannot correct.
@@ -119,6 +133,15 @@ def check_timing_row(scenario, pr, base, threshold, minimums):
             if pr[key] < minimum:
                 failures.append(f"{label}: {pr[key]:.1f} below required "
                                 f"minimum {minimum:.1f}")
+            continue
+        if key in FIXED_MAX_KEYS:
+            maximum = FIXED_MAX_KEYS[key]
+            status = "FAIL" if pr[key] > maximum else "ok"
+            print(f"[{status}] {label}: {pr[key]:.3f} "
+                  f"(require <= {maximum:.2f}; baseline {base_val:.3f})")
+            if pr[key] > maximum:
+                failures.append(f"{label}: {pr[key]:.3f} above allowed "
+                                f"maximum {maximum:.2f}")
             continue
         if key in INFO_KEYS or not key.endswith("_ms"):
             print(f"[info] {label}: {pr[key]:.4f} (baseline {base_val:.4f})")
