@@ -4,6 +4,8 @@
 // parallelism) lives in scenario::SweepRunner, not here.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -96,6 +98,20 @@ inline void print_cdf(const char* name, const stats::Distribution& d) {
 /// runners that would otherwise flake a 25% gate.
 inline double cpu_ms_now() {
   return static_cast<double>(std::clock()) * 1000.0 / CLOCKS_PER_SEC;
+}
+
+/// Peak resident set size (MB) of this process so far. ru_maxrss is
+/// process-monotone (it never decreases, whatever is freed), so a bench
+/// gating on memory must take its gated measurement BEFORE running
+/// anything hungrier. Linux reports KB; macOS reports bytes.
+inline double peak_rss_mb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+#ifdef __APPLE__
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
 }
 
 /// A fixed CPU-bound workload whose runtime calibrates the machine: the

@@ -61,4 +61,19 @@ double DynamicShadowing::rx_power_dbm(double tx_power_dbm, phy::NodeId from,
          offset_db(from, to);
 }
 
+double DynamicShadowing::rx_power_bound_dbm(double tx_power_dbm,
+                                            double distance_m,
+                                            double guard_sigmas) const {
+  return base_->rx_power_bound_dbm(tx_power_dbm, distance_m, guard_sigmas) +
+         guard_sigmas * std::max(0.0, config_.sigma_db);
+}
+
+double DynamicShadowing::epoch_delta_bound_db(double guard_sigmas) const {
+  const double sigma = std::max(0.0, config_.sigma_db);
+  const double rho = config_.correlation;
+  const double step =
+      guard_sigmas * sigma * ((1.0 - rho) + std::sqrt(1.0 - rho * rho));
+  return step + base_->epoch_delta_bound_db(guard_sigmas);
+}
+
 }  // namespace cmap::dynamics

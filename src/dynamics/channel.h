@@ -46,6 +46,17 @@ class DynamicShadowing final : public phy::PropagationModel {
                       const phy::Position& from_pos,
                       const phy::Position& to_pos) const override;
 
+  /// The base model's bound plus `guard_sigmas` standard deviations of the
+  /// AR(1) offset (stationary N(0, sigma_db^2) at every epoch).
+  double rx_power_bound_dbm(double tx_power_dbm, double distance_m,
+                            double guard_sigmas) const override;
+
+  /// Per-epoch step bound: |o_k - o_{k-1}| <= (1-rho)|o_{k-1}| +
+  /// sigma*sqrt(1-rho^2)*|z_k|, with both |o| and |z| capped at
+  /// `guard_sigmas` of their own deviations. The sparse Medium trusts this
+  /// to defer re-checking below-floor links.
+  double epoch_delta_bound_db(double guard_sigmas) const override;
+
   /// Advance the channel one epoch. Cached link gains derived from this
   /// model are stale afterwards; the caller refreshes them (see
   /// phy::Medium::refresh_all).

@@ -1,6 +1,8 @@
 #include "phy/medium.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "phy/radio.h"
 #include "phy/units.h"
@@ -16,6 +18,16 @@ constexpr double kSelfGainDbm = -1e30;
 // allocating gigabytes. Matches the net layer's packet-id packing bound
 // (traffic.cpp packs src ids into 20 bits). 1M ids = 4 MB worst case.
 constexpr phy::NodeId kMaxRadioId = 1u << 20;
+
+// Sorted-vector helpers for the sparse rows (both row kinds are kept
+// ascending by destination index).
+template <typename Entry>
+typename std::vector<Entry>::iterator find_dst(std::vector<Entry>& row,
+                                               std::uint32_t dst) {
+  return std::lower_bound(
+      row.begin(), row.end(), dst,
+      [](const Entry& e, std::uint32_t d) { return e.dst < d; });
+}
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator,
@@ -24,7 +36,14 @@ Medium::Medium(sim::Simulator& simulator,
     : sim_(simulator),
       propagation_(std::move(propagation)),
       config_(config),
-      rng_(rng) {}
+      mode_(config.effective_mode()),
+      rng_(rng) {
+  if (mode_ == LinkStateMode::kSparse) {
+    dyn_delta_db_ =
+        propagation_->epoch_delta_bound_db(config_.cull_guard_sigmas);
+    track_watch_ = dyn_delta_db_ > 0.0;
+  }
+}
 
 double Medium::cull_floor_dbm() const {
   const double guard = config_.fading_sigma_db > 0.0
@@ -51,19 +70,32 @@ std::uint32_t Medium::index_of(NodeId id) const {
 void Medium::attach(Radio* radio) {
   CMAP_ASSERT(radio != nullptr, "attach null radio");
   CMAP_ASSERT(radio->id() != kBroadcastId, "radio with broadcast id");
-  CMAP_ASSERT(radio->id() < kMaxRadioId,
-              "radio ids must be small/dense (id index is a flat vector)");
+  if (radio->id() >= kMaxRadioId) {
+    std::fprintf(stderr,
+                 "Medium: radio id %u exceeds the %u id cap (ids index a "
+                 "flat vector; renumber nodes densely)\n",
+                 radio->id(), kMaxRadioId);
+    CMAP_ASSERT(false, "radio ids must be small/dense (see stderr for id)");
+  }
   if (static_cast<std::size_t>(radio->id()) >= index_by_id_.size()) {
+    // Ids need not be contiguous — gaps just cost kNoIndex slots here.
     index_by_id_.resize(radio->id() + 1, kNoIndex);
   }
-  CMAP_ASSERT(index_by_id_[radio->id()] == kNoIndex, "duplicate radio id");
+  if (index_by_id_[radio->id()] != kNoIndex) {
+    std::fprintf(stderr, "Medium: duplicate radio id %u\n", radio->id());
+    CMAP_ASSERT(false, "duplicate radio id (see stderr for id)");
+  }
   const auto idx = static_cast<std::uint32_t>(radios_.size());
   index_by_id_[radio->id()] = idx;
   radios_.push_back(radio);
 
-  if (!config_.enable_gain_cache) return;
-  // Extend every existing source's row (and reachability) with the new
-  // radio, then build the new radio's own row against everyone.
+  if (mode_ == LinkStateMode::kDenseReference) return;
+  if (mode_ == LinkStateMode::kSparse) {
+    sparse_attach(radio, idx);
+    return;
+  }
+  // Dense-cached: extend every existing source's row (and reachability)
+  // with the new radio, then build the new radio's own row against everyone.
   const double floor = cull_floor_dbm();
   for (std::uint32_t i = 0; i < idx; ++i) {
     const Link link = compute_link(*radios_[i], *radio);
@@ -81,6 +113,146 @@ void Medium::attach(Radio* radio) {
   rebuild_reachable(idx);
 }
 
+void Medium::ensure_candidate_radius(double tx_power_dbm) {
+  if (grid_ != nullptr && tx_power_dbm <= max_tx_power_dbm_) return;
+  max_tx_power_dbm_ = tx_power_dbm;
+  // One shared radius at the strongest attached transmit power: a
+  // per-source radius would be tighter, but a superset of candidates only
+  // costs gain computations, never correctness.
+  candidate_radius_m_ = max_candidate_range_m(
+      *propagation_, max_tx_power_dbm_, cull_floor_dbm(),
+      config_.cull_guard_sigmas);
+}
+
+void Medium::sparse_attach(Radio* radio, std::uint32_t idx) {
+  const bool first = radios_.size() == 1;
+  ensure_candidate_radius(radio->config().tx_power_dbm);
+  if (!grid_) {
+    // Pitch ~= the candidate radius keeps queries at a 3x3 cell scan; an
+    // unbounded radius (model without a range bound) degenerates to
+    // full scans where pitch is irrelevant.
+    const double pitch = std::isfinite(candidate_radius_m_)
+                             ? std::clamp(candidate_radius_m_, 1.0, 1.0e5)
+                             : 64.0;
+    grid_ = std::make_unique<SpatialGrid>(pitch);
+  }
+  grid_->insert(idx, radio->position());
+  sparse_rows_.emplace_back();
+  if (track_watch_) watch_rows_.emplace_back();
+  if (first) return;
+  grid_->query(radio->position(), candidate_radius_m_, &scratch_);
+  for (const std::uint32_t j : scratch_) {
+    if (j == idx) continue;
+    sparse_classify(idx, j, compute_link(*radio, *radios_[j]));
+    sparse_classify(j, idx, compute_link(*radios_[j], *radio));
+  }
+}
+
+void Medium::sparse_classify(std::uint32_t src, std::uint32_t dst,
+                             const Link& link) {
+  if (link.gain_dbm >= cull_floor_dbm()) {
+    auto& row = sparse_rows_[src];
+    const auto it = find_dst(row, dst);
+    CMAP_ASSERT(it == row.end() || it->dst != dst, "duplicate sparse link");
+    row.insert(it, SparseLink{dst, link});
+  } else if (track_watch_) {
+    auto& row = watch_rows_[src];
+    const auto it = find_dst(row, dst);
+    CMAP_ASSERT(it == row.end() || it->dst != dst, "duplicate watch entry");
+    row.insert(it, WatchEntry{dst, link.gain_dbm, channel_epoch_});
+  }
+}
+
+void Medium::sparse_erase(std::uint32_t src, std::uint32_t dst) {
+  auto& row = sparse_rows_[src];
+  const auto it = find_dst(row, dst);
+  if (it != row.end() && it->dst == dst) {
+    row.erase(it);
+    return;
+  }
+  if (!track_watch_) return;
+  auto& watch = watch_rows_[src];
+  const auto wit = find_dst(watch, dst);
+  if (wit != watch.end() && wit->dst == dst) watch.erase(wit);
+}
+
+void Medium::sparse_move(Radio& radio, std::uint32_t idx) {
+  // Every source holding a link (or watch entry) for the mover computed it
+  // while both endpoints sat at their current positions, so it lies within
+  // the candidate radius of the mover's OLD position — which the grid
+  // remembers. Strip those, re-bucket, then rebuild both directions around
+  // the new position.
+  const Position old_pos = grid_->position(idx);
+  grid_->query(old_pos, candidate_radius_m_, &scratch_);
+  for (const std::uint32_t j : scratch_) {
+    if (j != idx) sparse_erase(j, idx);
+  }
+  grid_->move(idx, radio.position());
+  sparse_rows_[idx].clear();
+  if (track_watch_) watch_rows_[idx].clear();
+  grid_->query(radio.position(), candidate_radius_m_, &scratch_);
+  for (const std::uint32_t j : scratch_) {
+    if (j == idx) continue;
+    sparse_classify(idx, j, compute_link(radio, *radios_[j]));
+    sparse_classify(j, idx, compute_link(*radios_[j], radio));
+  }
+}
+
+void Medium::sparse_refresh() {
+  ++channel_epoch_;
+  const double floor = cull_floor_dbm();
+  std::vector<SparseLink> new_active;
+  std::vector<WatchEntry> new_watch;
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    auto& active = sparse_rows_[i];
+    if (!track_watch_) {
+      // Static model: gains cannot have moved, but honor refresh_all's
+      // "reconcile with current answers" contract on what is materialized.
+      for (auto& e : active) {
+        e.link = compute_link(*radios_[i], *radios_[e.dst]);
+      }
+      continue;
+    }
+    auto& watch = watch_rows_[i];
+    new_active.clear();
+    new_watch.clear();
+    new_active.reserve(active.size());
+    new_watch.reserve(watch.size());
+    const auto classify = [&](std::uint32_t dst) {
+      const Link link = compute_link(*radios_[i], *radios_[dst]);
+      if (link.gain_dbm >= floor) {
+        new_active.push_back(SparseLink{dst, link});
+      } else {
+        new_watch.push_back(WatchEntry{dst, link.gain_dbm, channel_epoch_});
+      }
+    };
+    // Merge the two dst-sorted rows: active links are always recomputed
+    // (their gains back every delivery), watched links only when the
+    // accumulated per-epoch delta bound says the floor is reachable.
+    std::size_t a = 0, w = 0;
+    while (a < active.size() || w < watch.size()) {
+      const bool take_active =
+          w >= watch.size() ||
+          (a < active.size() && active[a].dst < watch[w].dst);
+      if (take_active) {
+        classify(active[a++].dst);
+      } else {
+        const WatchEntry& entry = watch[w++];
+        const double budget =
+            dyn_delta_db_ *
+            static_cast<double>(channel_epoch_ - entry.checked_epoch);
+        if (floor - entry.gain_dbm <= budget) {
+          classify(entry.dst);
+        } else {
+          new_watch.push_back(entry);
+        }
+      }
+    }
+    active.swap(new_active);
+    watch.swap(new_watch);
+  }
+}
+
 void Medium::rebuild_reachable(std::uint32_t src_idx) {
   const double floor = cull_floor_dbm();
   auto& set = reachable_[src_idx];
@@ -92,7 +264,11 @@ void Medium::rebuild_reachable(std::uint32_t src_idx) {
 }
 
 void Medium::refresh_all() {
-  if (!config_.enable_gain_cache) return;
+  if (mode_ == LinkStateMode::kDenseReference) return;
+  if (mode_ == LinkStateMode::kSparse) {
+    sparse_refresh();
+    return;
+  }
   for (std::uint32_t i = 0; i < radios_.size(); ++i) {
     for (std::uint32_t j = 0; j < radios_.size(); ++j) {
       if (i == j) continue;
@@ -103,9 +279,13 @@ void Medium::refresh_all() {
 }
 
 void Medium::on_position_changed(Radio& radio) {
-  if (!config_.enable_gain_cache) return;
+  if (mode_ == LinkStateMode::kDenseReference) return;
   const std::uint32_t idx = index_of(radio.id());
   CMAP_ASSERT(idx != kNoIndex, "position change for unattached radio");
+  if (mode_ == LinkStateMode::kSparse) {
+    sparse_move(radio, idx);
+    return;
+  }
   if (!config_.incremental_invalidation) {
     refresh_all();
     return;
@@ -138,18 +318,35 @@ Radio* Medium::radio(NodeId id) const {
 std::size_t Medium::fanout_candidates(NodeId source) const {
   const std::uint32_t idx = index_of(source);
   CMAP_ASSERT(idx != kNoIndex, "unknown radio id");
-  if (config_.enable_gain_cache && config_.enable_culling) {
+  if (mode_ == LinkStateMode::kSparse) return sparse_rows_[idx].size();
+  if (mode_ == LinkStateMode::kDenseCached && config_.enable_culling) {
     return reachable_[idx].size();
   }
   return radios_.size() - 1;
+}
+
+std::size_t Medium::watch_entries() const {
+  std::size_t total = 0;
+  for (const auto& row : watch_rows_) total += row.size();
+  return total;
 }
 
 double Medium::mean_rx_power_dbm(NodeId from, NodeId to) const {
   const Radio* src = radio(from);
   const Radio* dst = radio(to);
   CMAP_ASSERT(src != nullptr && dst != nullptr, "unknown radio id");
-  if (config_.enable_gain_cache && from != to) {
+  if (mode_ == LinkStateMode::kDenseCached && from != to) {
     return links_[index_of(from)][index_of(to)].gain_dbm;
+  }
+  if (mode_ == LinkStateMode::kSparse && from != to) {
+    const auto& row = sparse_rows_[index_of(from)];
+    const std::uint32_t di = index_of(to);
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), di,
+        [](const SparseLink& e, std::uint32_t d) { return e.dst < d; });
+    if (it != row.end() && it->dst == di) return it->link.gain_dbm;
+    // Not materialized (below the cull floor): the model's current answer
+    // is exactly what the dense cache would hold.
   }
   return propagation_->rx_power_dbm(src->config().tx_power_dbm, from, to,
                                     src->position(), dst->position());
@@ -186,7 +383,17 @@ void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
                           static_cast<std::uint32_t>(frame->size_bytes()),
                           frame->duration);
   }
-  if (config_.enable_gain_cache) {
+  if (mode_ == LinkStateMode::kSparse) {
+    const std::uint32_t si = index_of(source.id());
+    CMAP_ASSERT(si != kNoIndex, "transmit from unattached radio");
+    // Sparse rows are dst-index-sorted: deliveries land in the same order
+    // the dense reachability sets produce.
+    for (const SparseLink& e : sparse_rows_[si]) {
+      deliver_one(*radios_[e.dst], e.link, frame, now);
+    }
+    return;
+  }
+  if (mode_ == LinkStateMode::kDenseCached) {
     const std::uint32_t si = index_of(source.id());
     CMAP_ASSERT(si != kNoIndex, "transmit from unattached radio");
     const auto& row = links_[si];

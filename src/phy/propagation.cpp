@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/random.h"
 
@@ -17,6 +18,27 @@ double friis_ref_loss_db(double frequency_hz) {
 
 }  // namespace
 
+double max_candidate_range_m(const PropagationModel& model,
+                             double tx_power_dbm, double min_rx_dbm,
+                             double guard_sigmas) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // ~3x Earth's circumference: any model still clearing the floor out
+  // here is effectively unbounded for our purposes.
+  constexpr double kMaxRange = 1.0e8;
+  const auto bound = [&](double d) {
+    return model.rx_power_bound_dbm(tx_power_dbm, d, guard_sigmas);
+  };
+  if (bound(kMaxRange) >= min_rx_dbm) return kInf;  // also the default +inf
+  if (bound(1.0) < min_rx_dbm) return 0.0;
+  double lo = 1.0, hi = kMaxRange;  // bound(lo) >= floor > bound(hi)
+  for (int it = 0; it < 200 && hi - lo > 1e-6 * hi; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (bound(mid) >= min_rx_dbm ? lo : hi) = mid;
+  }
+  // Conservative margin: a too-large radius only adds candidates.
+  return hi * (1.0 + 1e-9) + 1e-6;
+}
+
 FriisPropagation::FriisPropagation(double frequency_hz)
     : ref_loss_db_(friis_ref_loss_db(frequency_hz)) {}
 
@@ -24,6 +46,13 @@ double FriisPropagation::rx_power_dbm(double tx_power_dbm, NodeId /*from*/,
                                       NodeId /*to*/, const Position& from_pos,
                                       const Position& to_pos) const {
   const double d = std::max(1.0, distance(from_pos, to_pos));
+  return tx_power_dbm - ref_loss_db_ - 20.0 * std::log10(d);
+}
+
+double FriisPropagation::rx_power_bound_dbm(double tx_power_dbm,
+                                            double distance_m,
+                                            double /*guard_sigmas*/) const {
+  const double d = std::max(1.0, distance_m);  // same clamp as rx_power_dbm
   return tx_power_dbm - ref_loss_db_ - 20.0 * std::log10(d);
 }
 
@@ -49,6 +78,16 @@ double LogDistanceShadowing::rx_power_dbm(double tx_power_dbm, NodeId from,
   const double path_loss =
       ref_loss_db_ + 10.0 * config_.exponent * std::log10(d);
   return tx_power_dbm - path_loss + shadow_db(from, to);
+}
+
+double LogDistanceShadowing::rx_power_bound_dbm(double tx_power_dbm,
+                                                double distance_m,
+                                                double guard_sigmas) const {
+  const double d = std::max(1.0, distance_m);  // same clamp as rx_power_dbm
+  const double path_loss =
+      ref_loss_db_ + 10.0 * config_.exponent * std::log10(d);
+  return tx_power_dbm - path_loss +
+         guard_sigmas * (config_.shadow_sigma_db + config_.asym_sigma_db);
 }
 
 }  // namespace cmap::phy

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "phy/types.h"
 
@@ -19,7 +20,45 @@ class PropagationModel {
   virtual double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
                               const Position& from_pos,
                               const Position& to_pos) const = 0;
+
+  // ---- Sparse link-state support ----
+
+  /// Upper bound (dBm) on rx_power_dbm() between ANY pair of nodes
+  /// separated by `distance_m`, letting each of the model's random
+  /// per-pair components (shadowing, dynamic offsets) conspire up to
+  /// `guard_sigmas` standard deviations above its mean. The sparse link
+  /// state culls candidate pairs by distance through this bound, so it
+  /// must be non-increasing in distance and clamp distance the same way
+  /// rx_power_dbm() does. The default (+infinity) says "this model cannot
+  /// bound itself": sparse candidate queries then degrade to all-pairs —
+  /// still correct, just not sparse.
+  virtual double rx_power_bound_dbm(double /*tx_power_dbm*/,
+                                    double /*distance_m*/,
+                                    double /*guard_sigmas*/) const {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Upper bound (dB) on how much any single link's rx power can move
+  /// across ONE channel-epoch advance, again at `guard_sigmas` confidence.
+  /// Static models return 0 (their answers never change between position
+  /// updates); time-varying wrappers (dynamics::DynamicShadowing) return
+  /// their per-epoch AR(1) step bound. The sparse Medium uses this to
+  /// schedule below-floor links for re-check only once the accumulated
+  /// bound says they could have crossed the floor.
+  virtual double epoch_delta_bound_db(double /*guard_sigmas*/) const {
+    return 0.0;
+  }
 };
+
+/// Largest distance (m) at which `model.rx_power_bound_dbm(tx_power_dbm,
+/// d, guard_sigmas)` still clears `min_rx_dbm`, found by bisection over
+/// the bound's monotone-in-distance contract (with a small conservative
+/// margin). Returns +infinity when the model cannot bound itself or still
+/// clears the floor at planetary range, and 0 when even the 1 m clamp
+/// distance cannot clear it.
+double max_candidate_range_m(const PropagationModel& model,
+                             double tx_power_dbm, double min_rx_dbm,
+                             double guard_sigmas);
 
 /// Free-space (Friis) propagation; mostly for unit tests and controlled
 /// topologies.
@@ -29,6 +68,10 @@ class FriisPropagation final : public PropagationModel {
   double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
                       const Position& from_pos,
                       const Position& to_pos) const override;
+  /// Friis has no random component: the bound is the deterministic power
+  /// at `distance_m` (guard_sigmas is irrelevant).
+  double rx_power_bound_dbm(double tx_power_dbm, double distance_m,
+                            double guard_sigmas) const override;
 
  private:
   double ref_loss_db_;  // path loss at 1 m
@@ -53,6 +96,10 @@ class LogDistanceShadowing final : public PropagationModel {
   double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
                       const Position& from_pos,
                       const Position& to_pos) const override;
+  /// Deterministic path loss at `distance_m` plus `guard_sigmas` standard
+  /// deviations of each shadowing component (pair-symmetric + asymmetric).
+  double rx_power_bound_dbm(double tx_power_dbm, double distance_m,
+                            double guard_sigmas) const override;
 
   const LogDistanceConfig& config() const { return config_; }
 

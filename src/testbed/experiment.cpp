@@ -91,14 +91,14 @@ void World::add_node(phy::NodeId id) {
       cc = core::CmapConfig::integrated_defaults();
     }
     if (config_.scheme == Scheme::kCmapWin1) cc.nwindow_vps = 1;
-    if (config_.cmap_nvpkt) cc.nvpkt = *config_.cmap_nvpkt;
-    if (config_.cmap_nwindow) cc.nwindow_vps = *config_.cmap_nwindow;
-    if (config_.cmap_defer_ttl) cc.defer_entry_ttl = *config_.cmap_defer_ttl;
-    if (config_.cmap_ilist_period) cc.ilist_period = *config_.cmap_ilist_period;
+    if (config_.cmap.nvpkt) cc.nvpkt = *config_.cmap.nvpkt;
+    if (config_.cmap.nwindow) cc.nwindow_vps = *config_.cmap.nwindow;
+    if (config_.cmap.defer_ttl) cc.defer_entry_ttl = *config_.cmap.defer_ttl;
+    if (config_.cmap.ilist_period) cc.ilist_period = *config_.cmap.ilist_period;
     cc.data_rate = config_.data_rate;
     cc.per_dest_queues = config_.per_dest_queues;
     cc.annotate_rates = config_.annotate_rates;
-    cc.decision_mode = config_.decision_mode;
+    cc.decision_mode = config_.cmap.decision_mode;
     st.mac = std::make_unique<core::CmapMac>(sim_, *st.radio, cc,
                                              rng_.substream(0x3ac, id));
   } else {

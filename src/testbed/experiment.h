@@ -38,6 +38,21 @@ struct Flow {
   phy::NodeId dst = 0;
 };
 
+/// CMAP-specific run overrides, grouped (ignored by the DCF schemes).
+struct CmapOverrides {
+  // Send-decision implementation: the indexed fast path, or the retained
+  // reference scan it is golden-tested against.
+  core::DecisionMode decision_mode = core::DecisionMode::kFast;
+  std::optional<int> nvpkt;    // override Nvpkt
+  std::optional<int> nwindow;  // override Nwindow (in VPs)
+  // Override the CMAP defer-entry TTL (§3.4) and the interferer-list
+  // broadcast period (§3.1). Mobile scenarios shorten both so stale
+  // conflicts age out and fresh ones are re-broadcast within the run —
+  // the periodic re-learning loop the paper's TTLs exist for.
+  std::optional<sim::Time> defer_ttl;
+  std::optional<sim::Time> ilist_period;
+};
+
 struct RunConfig {
   Scheme scheme = Scheme::kCmap;
   sim::Time duration = sim::seconds(100);
@@ -47,17 +62,7 @@ struct RunConfig {
   std::size_t packet_bytes = 1400;
   bool per_dest_queues = false;  // §3.2 optimization (CMAP only)
   bool annotate_rates = false;   // §3.5 extension (CMAP only)
-  // Send-decision implementation (CMAP only): the indexed fast path, or
-  // the retained reference scan it is golden-tested against.
-  core::DecisionMode decision_mode = core::DecisionMode::kFast;
-  std::optional<int> cmap_nvpkt;    // override Nvpkt
-  std::optional<int> cmap_nwindow;  // override Nwindow (in VPs)
-  // Override the CMAP defer-entry TTL (§3.4) and the interferer-list
-  // broadcast period (§3.1). Mobile scenarios shorten both so stale
-  // conflicts age out and fresh ones are re-broadcast within the run —
-  // the periodic re-learning loop the paper's TTLs exist for.
-  std::optional<sim::Time> cmap_defer_ttl;
-  std::optional<sim::Time> cmap_ilist_period;
+  CmapOverrides cmap;            // CMAP-only knobs, grouped
   // Time-varying environment (mobility and/or channel evolution); the
   // World instantiates the dynamics subsystem when set. Mobility bounds
   // default to the testbed's floor; the channel model wraps the testbed's
@@ -68,6 +73,43 @@ struct RunConfig {
   // it. Tracing never draws randomness or schedules events, so a traced
   // run's results are identical to an untraced one's.
   std::optional<trace::TraceConfig> trace;
+
+  // ---- Fluent builders ----
+  // Each returns *this, so configurations read as one expression:
+  //   RunConfig{}.with_scheme(Scheme::kCsma).with_seed(7)
+  // They work on temporaries and named objects alike (the temporary case
+  // copies on assignment, which these little structs don't mind).
+  RunConfig& with_scheme(Scheme v) { scheme = v; return *this; }
+  RunConfig& with_duration(sim::Time v) { duration = v; return *this; }
+  RunConfig& with_warmup(sim::Time v) { warmup = v; return *this; }
+  RunConfig& with_seed(std::uint64_t v) { seed = v; return *this; }
+  RunConfig& with_data_rate(phy::WifiRate v) { data_rate = v; return *this; }
+  RunConfig& with_packet_bytes(std::size_t v) {
+    packet_bytes = v;
+    return *this;
+  }
+  RunConfig& with_per_dest_queues(bool v) { per_dest_queues = v; return *this; }
+  RunConfig& with_annotate_rates(bool v) { annotate_rates = v; return *this; }
+  RunConfig& with_cmap(CmapOverrides v) { cmap = v; return *this; }
+  RunConfig& with_decision_mode(core::DecisionMode v) {
+    cmap.decision_mode = v;
+    return *this;
+  }
+  RunConfig& with_nvpkt(int v) { cmap.nvpkt = v; return *this; }
+  RunConfig& with_nwindow(int v) { cmap.nwindow = v; return *this; }
+  RunConfig& with_defer_ttl(sim::Time v) { cmap.defer_ttl = v; return *this; }
+  RunConfig& with_ilist_period(sim::Time v) {
+    cmap.ilist_period = v;
+    return *this;
+  }
+  RunConfig& with_dynamics(dynamics::DynamicsConfig v) {
+    dynamics = std::move(v);
+    return *this;
+  }
+  RunConfig& with_trace(trace::TraceConfig v) {
+    trace = std::move(v);
+    return *this;
+  }
 };
 
 /// A live simulation world. Benches with bespoke needs (mesh phases,

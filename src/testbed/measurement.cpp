@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "phy/spatial_index.h"
 #include "phy/units.h"
 #include "sim/assert.h"
 #include "sim/parallel.h"
@@ -183,26 +184,37 @@ double LinkMeasurement::reference_prr(double mean_dbm,
   return sum / static_cast<double>(samples);
 }
 
+std::pair<double, double> LinkMeasurement::measure_one(
+    phy::NodeId from, phy::NodeId to, const phy::Position& from_pos,
+    const phy::Position& to_pos) const {
+  const double s = propagation_->rx_power_dbm(spec_.radio.tx_power_dbm, from,
+                                              to, from_pos, to_pos);
+  const double p =
+      spec_.config.mode == MeasurementMode::kFast
+          ? fast_prr(s)
+          : reference_prr(s, sim::Rng(spec_.seed)
+                                 .substream(0xfade, pair_stream_id(from, to)));
+  return {p, s};
+}
+
 LinkMeasurementResult LinkMeasurement::measure(
     const std::vector<phy::Position>& positions) const {
+  if (spec_.config.store == MeasurementStore::kSparse) {
+    return measure_sparse(positions);
+  }
   const auto n = positions.size();
   LinkMeasurementResult result;
   result.prr.assign(n * n, 0.0);
   result.signal.assign(n * n, -300.0);
 
-  const bool fast = spec_.config.mode == MeasurementMode::kFast;
   sim::parallel_for(spec_.config.threads, n, [&](std::size_t row) {
     const auto i = static_cast<phy::NodeId>(row);
     for (std::size_t col = 0; col < n; ++col) {
       if (col == row) continue;
       const auto j = static_cast<phy::NodeId>(col);
-      const double s = propagation_->rx_power_dbm(
-          spec_.radio.tx_power_dbm, i, j, positions[row], positions[col]);
+      const auto [p, s] = measure_one(i, j, positions[row], positions[col]);
       result.signal[row * n + col] = s;
-      result.prr[row * n + col] =
-          fast ? fast_prr(s)
-               : reference_prr(s, sim::Rng(spec_.seed)
-                                      .substream(0xfade, pair_stream_id(i, j)));
+      result.prr[row * n + col] = p;
     }
   });
 
@@ -211,6 +223,74 @@ LinkMeasurementResult LinkMeasurement::measure(
       result.connected_signals.push_back(result.signal[k]);
     }
   }
+  std::sort(result.connected_signals.begin(), result.connected_signals.end());
+  result.p10 = percentile_of(result.connected_signals, 10.0);
+  result.p90 = percentile_of(result.connected_signals, 90.0);
+  return result;
+}
+
+LinkMeasurementResult LinkMeasurement::measure_sparse(
+    const std::vector<phy::Position>& positions) const {
+  const auto n = positions.size();
+  // Candidate radius: beyond it no pair can clear the delivery floor
+  // within the guard band (infinite when the model cannot bound itself —
+  // the grid then degenerates to all pairs, sparse only in storage).
+  const double radius = phy::max_candidate_range_m(
+      *propagation_, spec_.radio.tx_power_dbm, spec_.delivery_floor_dbm,
+      spec_.config.sparse_guard_sigmas);
+  const double pitch =
+      std::isfinite(radius) ? std::clamp(radius, 1.0, 1.0e5) : 64.0;
+  phy::SpatialGrid grid(pitch);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.insert(static_cast<std::uint32_t>(i), positions[i]);
+  }
+
+  // Per-row buffers keep the pass shard-parallel and deterministic: each
+  // row's output depends only on (seed, pair), and CSR assembly below is
+  // a fixed-order concatenation.
+  struct Row {
+    std::vector<phy::NodeId> dst;
+    std::vector<double> prr, signal;
+  };
+  std::vector<Row> rows(n);
+  sim::parallel_for(spec_.config.threads, n, [&](std::size_t row) {
+    const auto i = static_cast<phy::NodeId>(row);
+    std::vector<std::uint32_t> cand;
+    grid.query(positions[row], radius, &cand);
+    Row& out = rows[row];
+    for (const std::uint32_t c : cand) {  // ascending — rows come out sorted
+      if (c == row) continue;
+      const auto j = static_cast<phy::NodeId>(c);
+      const auto [p, s] = measure_one(i, j, positions[row], positions[c]);
+      if (s < spec_.delivery_floor_dbm) continue;  // candidate, not connected
+      out.dst.push_back(j);
+      out.prr.push_back(p);
+      out.signal.push_back(s);
+    }
+  });
+
+  LinkMeasurementResult result;
+  result.row_begin.reserve(n + 1);
+  result.row_begin.push_back(0);
+  std::size_t total = 0;
+  for (const Row& r : rows) {
+    total += r.dst.size();
+    CMAP_ASSERT(total <= 0xffffffffu, "sparse link count overflows CSR index");
+    result.row_begin.push_back(static_cast<std::uint32_t>(total));
+  }
+  result.dst.reserve(total);
+  result.sparse_prr.reserve(total);
+  result.sparse_signal.reserve(total);
+  for (Row& r : rows) {
+    result.dst.insert(result.dst.end(), r.dst.begin(), r.dst.end());
+    result.sparse_prr.insert(result.sparse_prr.end(), r.prr.begin(),
+                             r.prr.end());
+    result.sparse_signal.insert(result.sparse_signal.end(), r.signal.begin(),
+                                r.signal.end());
+  }
+  // Every stored signal cleared the floor, so the connected population is
+  // exactly the stored one — same multiset the dense pass collects.
+  result.connected_signals = result.sparse_signal;
   std::sort(result.connected_signals.begin(), result.connected_signals.end());
   result.p10 = percentile_of(result.connected_signals, 10.0);
   result.p90 = percentile_of(result.connected_signals, 90.0);

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "phy/error_model.h"
@@ -37,6 +38,11 @@ enum class MeasurementMode {
   kReference,  // per-pair stratified Monte-Carlo over the fading Gaussian
 };
 
+enum class MeasurementStore {
+  kDense,   // full n^2 PRR/signal matrices — the reference layout
+  kSparse,  // CSR over pairs whose mean signal clears the delivery floor
+};
+
 struct MeasurementConfig {
   MeasurementMode mode = MeasurementMode::kFast;
   /// Threads sharding the per-pair loop; 0 = sim::default_thread_count().
@@ -47,6 +53,18 @@ struct MeasurementConfig {
   /// Fading strata per fast-mode table entry (quadrature accuracy ~1/strata
   /// worst-case, far better in practice).
   int table_strata = 512;
+  /// Pair-state layout measure() produces. kSparse never touches the n^2
+  /// pair space: a spatial grid limits evaluation to pairs within the
+  /// propagation model's guard-banded candidate radius
+  /// (phy::max_candidate_range_m over the delivery floor), and only pairs
+  /// whose mean signal actually clears the floor are stored. Off-CSR pairs
+  /// are answered lazily (see Testbed) with values identical to kDense.
+  MeasurementStore store = MeasurementStore::kDense;
+  /// Confidence (in model sigmas) of the kSparse candidate radius: a pair
+  /// outside it would need a shadowing realization beyond this many sigmas
+  /// to clear the delivery floor. At the default 6 the per-pair miss
+  /// probability is ~1e-9.
+  double sparse_guard_sigmas = 6.0;
   bool operator==(const MeasurementConfig&) const = default;
 };
 
@@ -80,11 +98,20 @@ struct LinkMeasurementSpec {
 };
 
 struct LinkMeasurementResult {
+  // kDense layout (empty under kSparse):
   std::vector<double> prr;     // [from * n + to]; 0 on the diagonal
   std::vector<double> signal;  // [from * n + to] dBm; -300 on the diagonal
+  // Both layouts:
   std::vector<double> connected_signals;  // sorted ascending
   double p10 = 0.0;  // 10th / 90th percentile of connected_signals,
   double p90 = 0.0;  // NaN when no pair clears the delivery floor
+  // kSparse layout: CSR over directed pairs whose mean signal clears the
+  // delivery floor; row r covers dst/sparse_prr/sparse_signal indices
+  // [row_begin[r], row_begin[r + 1]), dst ascending within a row.
+  std::vector<std::uint32_t> row_begin;  // size n + 1 (empty under kDense)
+  std::vector<phy::NodeId> dst;
+  std::vector<double> sparse_prr;
+  std::vector<double> sparse_signal;
 };
 
 class LinkMeasurement {
@@ -93,9 +120,16 @@ class LinkMeasurement {
                   std::shared_ptr<const phy::PropagationModel> propagation,
                   std::shared_ptr<const phy::ErrorModel> error_model);
 
-  /// Run the full pass over every directed pair of `positions`.
+  /// Run the full pass over every directed pair of `positions` (kDense),
+  /// or over grid candidates only (kSparse; see MeasurementConfig::store).
   LinkMeasurementResult measure(
       const std::vector<phy::Position>& positions) const;
+
+  /// One directed pair, computed exactly as measure() would — the lazy
+  /// path for pairs outside a kSparse CSR. Returns {prr, signal_dbm}.
+  std::pair<double, double> measure_one(phy::NodeId from, phy::NodeId to,
+                                        const phy::Position& from_pos,
+                                        const phy::Position& to_pos) const;
 
   const LinkMeasurementSpec& spec() const { return spec_; }
 
@@ -120,6 +154,8 @@ class LinkMeasurement {
  private:
   void build_tables();
   double success_from_table(double rx_dbm) const;
+  LinkMeasurementResult measure_sparse(
+      const std::vector<phy::Position>& positions) const;
 
   LinkMeasurementSpec spec_;
   std::shared_ptr<const phy::PropagationModel> propagation_;

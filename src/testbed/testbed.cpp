@@ -85,31 +85,106 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   spec.fading_samples = config_.prr_fading_samples;
   spec.seed = config_.seed;
   spec.config = config_.measurement;
-  LinkMeasurement measurement(spec, propagation_, error_model_);
-  LinkMeasurementResult result = measurement.measure(positions_);
-  prr_ = std::move(result.prr);
-  signal_ = std::move(result.signal);
+  auto measurement =
+      std::make_unique<LinkMeasurement>(spec, propagation_, error_model_);
+  LinkMeasurementResult result = measurement->measure(positions_);
   connected_signals_ = std::move(result.connected_signals);
   p10_ = result.p10;
   p90_ = result.p90;
+  if (config_.measurement.store == MeasurementStore::kSparse) {
+    row_begin_ = std::move(result.row_begin);
+    link_dst_ = std::move(result.dst);
+    link_prr_ = std::move(result.sparse_prr);
+    link_signal_ = std::move(result.sparse_signal);
+    lazy_ = std::move(measurement);  // answers off-CSR pair queries
+  } else {
+    prr_ = std::move(result.prr);
+    signal_ = std::move(result.signal);
+  }
 
   // Precompute the potential-link list the topology pickers iterate; the
-  // predicate inputs above are final from here on.
+  // predicate inputs above are final from here on. The sparse store walks
+  // only connected rows — a pair needs PRR > 0.9 both ways, so any
+  // potential link is stored in both directions.
   const auto n = static_cast<phy::NodeId>(config_.num_nodes);
-  for (phy::NodeId a = 0; a < n; ++a) {
-    for (phy::NodeId b = 0; b < n; ++b) {
-      if (a != b && potential_link(a, b)) potential_links_.emplace_back(a, b);
+  if (sparse()) {
+    for (phy::NodeId a = 0; a < n; ++a) {
+      for (const phy::NodeId b : connected_neighbors(a)) {
+        if (potential_link(a, b)) potential_links_.emplace_back(a, b);
+      }
+    }
+  } else {
+    for (phy::NodeId a = 0; a < n; ++a) {
+      for (phy::NodeId b = 0; b < n; ++b) {
+        if (a != b && potential_link(a, b)) potential_links_.emplace_back(a, b);
+      }
     }
   }
+  build_neighbor_csrs();
+}
+
+void Testbed::build_neighbor_csrs() {
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+  // potential_links_ is (from, to)-lexicographic, so the CSR is a direct
+  // transcription.
+  pot_begin_.assign(n + 1, 0);
+  pot_dst_.reserve(potential_links_.size());
+  for (const auto& [a, b] : potential_links_) {
+    ++pot_begin_[a + 1];
+    pot_dst_.push_back(b);
+  }
+  for (std::size_t i = 0; i < n; ++i) pot_begin_[i + 1] += pot_begin_[i];
+  if (sparse()) return;  // connected rows are the stored CSR itself
+  conn_begin_.assign(n + 1, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b && signal_[a * n + b] >= config_.medium.delivery_floor_dbm) {
+        conn_dst_.push_back(static_cast<phy::NodeId>(b));
+      }
+    }
+    conn_begin_[a + 1] = static_cast<std::uint32_t>(conn_dst_.size());
+  }
+}
+
+std::ptrdiff_t Testbed::stored_index(phy::NodeId from, phy::NodeId to) const {
+  const auto* lo = link_dst_.data() + row_begin_[from];
+  const auto* hi = link_dst_.data() + row_begin_[from + 1];
+  const auto* it = std::lower_bound(lo, hi, to);
+  if (it == hi || *it != to) return -1;
+  return it - link_dst_.data();
+}
+
+std::pair<double, double> Testbed::link_values(phy::NodeId from,
+                                               phy::NodeId to) const {
+  const std::ptrdiff_t idx = stored_index(from, to);
+  if (idx >= 0) {
+    return {link_prr_[static_cast<std::size_t>(idx)],
+            link_signal_[static_cast<std::size_t>(idx)]};
+  }
+  // Off-CSR pair: compute the exact dense-store values once and memoize.
+  // The testbed is shared const across sweep threads, hence the lock; the
+  // computation itself is read-only and cheap (one propagation query plus
+  // a table interpolation), so holding the lock across it is fine.
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(from) << 32 | static_cast<std::uint64_t>(to);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  const auto values =
+      lazy_->measure_one(from, to, positions_[from], positions_[to]);
+  memo_.emplace(key, values);
+  return values;
 }
 
 double Testbed::prr(phy::NodeId from, phy::NodeId to) const {
   CMAP_ASSERT(from != to, "self link");
+  if (sparse()) return link_values(from, to).first;
   return prr_[from * config_.num_nodes + to];
 }
 
 double Testbed::signal_dbm(phy::NodeId from, phy::NodeId to) const {
   CMAP_ASSERT(from != to, "self link");
+  if (sparse()) return link_values(from, to).second;
   return signal_[from * config_.num_nodes + to];
 }
 
@@ -134,20 +209,27 @@ bool Testbed::strong_signal(phy::NodeId from, phy::NodeId to) const {
 
 Testbed::LinkClasses Testbed::link_classes() const {
   LinkClasses out;
-  const int n = config_.num_nodes;
   int dead = 0, mid = 0, perfect = 0;
-  for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
-    for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
-      if (i == j) continue;
-      if (signal_[i * n + j] < config_.medium.delivery_floor_dbm) continue;
-      ++out.connected_pairs;
-      const double p = prr_[i * n + j];
-      if (p < 0.1) {
-        ++dead;
-      } else if (p < 0.95) {
-        ++mid;
-      } else {
-        ++perfect;
+  const auto classify = [&](double p) {
+    ++out.connected_pairs;
+    if (p < 0.1) {
+      ++dead;
+    } else if (p < 0.95) {
+      ++mid;
+    } else {
+      ++perfect;
+    }
+  };
+  if (sparse()) {
+    // The CSR holds exactly the connected directed pairs.
+    for (const double p : link_prr_) classify(p);
+  } else {
+    const int n = config_.num_nodes;
+    for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+      for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {
+        if (i == j) continue;
+        if (signal_[i * n + j] < config_.medium.delivery_floor_dbm) continue;
+        classify(prr_[i * n + j]);
       }
     }
   }
@@ -163,6 +245,26 @@ Testbed::LinkClasses Testbed::link_classes() const {
 double Testbed::mean_degree() const {
   const int n = config_.num_nodes;
   double total = 0;
+  if (sparse()) {
+    // A PRR > 0.1 link needs signal well above the delivery floor (the
+    // preamble gate), so every counting pair sits in the CSR. A node sees
+    // a neighbor through its own row when either direction is stored
+    // there; when the reverse row is entirely missing (signal below the
+    // floor one way), the stored side credits the other node directly.
+    std::vector<int> deg(static_cast<std::size_t>(n), 0);
+    for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
+      for (std::uint32_t k = row_begin_[i]; k < row_begin_[i + 1]; ++k) {
+        const phy::NodeId j = link_dst_[k];
+        const bool fwd = link_prr_[k] > 0.1;
+        const std::ptrdiff_t r = stored_index(j, i);
+        const bool rev = r >= 0 && link_prr_[static_cast<std::size_t>(r)] > 0.1;
+        if (fwd || rev) ++deg[i];
+        if (fwd && r < 0) ++deg[j];
+      }
+    }
+    for (const int d : deg) total += d;
+    return total / n;
+  }
   for (phy::NodeId i = 0; i < static_cast<phy::NodeId>(n); ++i) {
     int deg = 0;
     for (phy::NodeId j = 0; j < static_cast<phy::NodeId>(n); ++j) {

@@ -12,6 +12,9 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "phy/error_model.h"
@@ -118,6 +121,35 @@ class Testbed {
     return potential_links_;
   }
 
+  /// Destinations b with potential_link(a, b), ascending — the CSR row
+  /// view of potential_links() that lets pickers and flow selection walk a
+  /// node's neighborhood without scanning all n ids.
+  std::span<const phy::NodeId> potential_neighbors(phy::NodeId a) const {
+    return {pot_dst_.data() + pot_begin_[a],
+            pot_dst_.data() + pot_begin_[a + 1]};
+  }
+
+  /// Destinations b with signal_dbm(a, b) at or above the delivery floor
+  /// ("any connectivity" outbound), ascending. Under the sparse store this
+  /// is the stored CSR row itself; the dense store derives an equivalent
+  /// CSR once at construction.
+  std::span<const phy::NodeId> connected_neighbors(phy::NodeId a) const {
+    if (sparse()) {
+      return {link_dst_.data() + row_begin_[a],
+              link_dst_.data() + row_begin_[a + 1]};
+    }
+    return {conn_dst_.data() + conn_begin_[a],
+            conn_dst_.data() + conn_begin_[a + 1]};
+  }
+
+  /// Whether this testbed runs the sparse pair-state store
+  /// (config().measurement.store == MeasurementStore::kSparse).
+  bool sparse() const { return !row_begin_.empty(); }
+
+  /// Directed pairs held in the sparse CSR (0 under the dense store) —
+  /// observability for memory accounting and tests.
+  std::size_t stored_links() const { return link_dst_.size(); }
+
   // ---- Calibration statistics (validated against §5.1) ----
   struct LinkClasses {
     int connected_pairs = 0;  // directed pairs with any connectivity
@@ -130,12 +162,36 @@ class Testbed {
   double mean_degree() const;
 
  private:
+  /// Index of (from, to) in the sparse CSR arrays, or -1 when not stored
+  /// (meaning its mean signal is below the delivery floor).
+  std::ptrdiff_t stored_index(phy::NodeId from, phy::NodeId to) const;
+  /// {prr, signal} for any directed pair: CSR hit, else the lazy memo.
+  std::pair<double, double> link_values(phy::NodeId from, phy::NodeId to) const;
+  void build_neighbor_csrs();
+
   TestbedConfig config_;
   std::vector<phy::Position> positions_;
   std::shared_ptr<phy::LogDistanceShadowing> propagation_;
   std::shared_ptr<phy::NistErrorModel> error_model_;
+  // Dense store: full matrices.
   std::vector<double> prr_;         // [from * n + to]
   std::vector<double> signal_;      // [from * n + to]
+  // Sparse store: CSR over connected directed pairs (dst ascending per
+  // row), plus a mutex-protected memo lazily answering off-CSR queries
+  // with exactly the values the dense store would hold.
+  std::vector<std::uint32_t> row_begin_;  // size n + 1; empty when dense
+  std::vector<phy::NodeId> link_dst_;
+  std::vector<double> link_prr_;
+  std::vector<double> link_signal_;
+  std::unique_ptr<LinkMeasurement> lazy_;  // retained only by sparse mode
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_map<std::uint64_t, std::pair<double, double>> memo_;
+  // Neighbor CSRs (both stores): potential_link rows, and (dense only —
+  // sparse reads its own CSR) any-connectivity rows.
+  std::vector<std::uint32_t> pot_begin_;
+  std::vector<phy::NodeId> pot_dst_;
+  std::vector<std::uint32_t> conn_begin_;
+  std::vector<phy::NodeId> conn_dst_;
   std::vector<double> connected_signals_;  // sorted, for percentiles
   std::vector<std::pair<phy::NodeId, phy::NodeId>> potential_links_;
   double p10_ = 0.0;  // cached signal_percentile(10/90); NaN when no pair

@@ -169,11 +169,11 @@ std::optional<MeshScenario> TopologyPicker::mesh_scenario(
   for (int attempt = 0; attempt < 400; ++attempt) {
     MeshScenario sc;
     sc.s = static_cast<phy::NodeId>(rng.uniform_int(0, n - 1));
-    // First-hop forwarders: potential links from S.
-    std::vector<phy::NodeId> as;
-    for (phy::NodeId a = 0; a < n; ++a) {
-      if (a != sc.s && tb_.potential_link(sc.s, a)) as.push_back(a);
-    }
+    // First-hop forwarders: potential links from S. The CSR row is exactly
+    // the ids the old 0..n scan accepted, in the same ascending order, so
+    // the sample() draws below see an identical stream.
+    const auto s_neighbors = tb_.potential_neighbors(sc.s);
+    std::vector<phy::NodeId> as(s_neighbors.begin(), s_neighbors.end());
     if (static_cast<int>(as.size()) < width) continue;
     as = sample(std::move(as), width, rng);
     bool ok = true;
@@ -187,9 +187,11 @@ std::optional<MeshScenario> TopologyPicker::mesh_scenario(
       // need the explicit preference.
       phy::NodeId best = n;  // invalid
       double best_margin = -1e9;
-      for (phy::NodeId b = 0; b < n; ++b) {
+      // Ascending potential-neighbor walk == the old filtered 0..n scan:
+      // the jitter draw happens for exactly the same candidates in the
+      // same order, keeping scenario draws byte-identical.
+      for (const phy::NodeId b : tb_.potential_neighbors(a)) {
         if (std::find(used.begin(), used.end(), b) != used.end()) continue;
-        if (!tb_.potential_link(a, b)) continue;
         double worst_foreign = -200.0;
         for (phy::NodeId u : used) {
           if (u == a) continue;

@@ -97,8 +97,8 @@ TEST(WorldDynamics, RelearningOverridesReachTheMac) {
   testbed::RunConfig config;
   config.scheme = testbed::Scheme::kCmap;
   config.duration = sim::seconds(1);
-  config.cmap_defer_ttl = sim::seconds(5);
-  config.cmap_ilist_period = sim::milliseconds(500);
+  config.with_defer_ttl(sim::seconds(5))
+      .with_ilist_period(sim::milliseconds(500));
   testbed::World world(shared_testbed(), config);
   world.add_saturated_flow(0, 1);
   ASSERT_NE(world.cmap(0), nullptr);
@@ -121,8 +121,8 @@ TEST(WorldDynamics, MobileRunExercisesRelearningEndToEnd) {
   config.scheme = testbed::Scheme::kCmap;
   config.duration = sim::seconds(10);
   config.warmup = sim::seconds(2);
-  config.cmap_defer_ttl = sim::seconds(4);
-  config.cmap_ilist_period = sim::milliseconds(500);
+  config.with_defer_ttl(sim::seconds(4))
+      .with_ilist_period(sim::milliseconds(500));
   DynamicsConfig dc = full_dynamics();
   // Gentle drift: the geometry evolves without dissolving the conflict
   // before the receivers have accumulated the evidence to report it.

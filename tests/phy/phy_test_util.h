@@ -50,10 +50,12 @@ class RecordingListener : public RadioListener {
 class World {
  public:
   explicit World(std::shared_ptr<const ErrorModel> model,
-                 MediumConfig mcfg = NoFadingConfig())
+                 MediumConfig mcfg = NoFadingConfig(),
+                 std::shared_ptr<const PropagationModel> prop = nullptr)
       : model_(std::move(model)),
-        medium_(sim_, std::make_shared<FriisPropagation>(), mcfg,
-                sim::Rng(99)) {}
+        medium_(sim_,
+                prop ? std::move(prop) : std::make_shared<FriisPropagation>(),
+                mcfg, sim::Rng(99)) {}
 
   static MediumConfig NoFadingConfig() {
     MediumConfig m;

@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "dynamics/channel.h"
 #include "phy_test_util.h"
 #include "sim/time.h"
 
@@ -310,6 +311,233 @@ TEST(MediumInvalidate, RefreshAllReconcilesAChangedChannel) {
   EXPECT_DOUBLE_EQ(medium.mean_rx_power_dbm(1, 2), before);  // stale cache
   medium.refresh_all();
   EXPECT_DOUBLE_EQ(medium.mean_rx_power_dbm(1, 2), before - 7.0);
+}
+
+// ---- Sparse link state (LinkStateMode::kSparse) ----
+
+TEST(MediumConfigMode, DeprecatedBoolsMapOntoLinkStateMode) {
+  MediumConfig m;
+  EXPECT_EQ(m.effective_mode(), LinkStateMode::kDenseCached);
+  m.enable_gain_cache = false;
+  EXPECT_EQ(m.effective_mode(), LinkStateMode::kDenseReference);
+  // An explicit sparse request wins over the legacy bools.
+  m.link_state = LinkStateMode::kSparse;
+  EXPECT_EQ(m.effective_mode(), LinkStateMode::kSparse);
+  m = MediumConfig{};
+  m.link_state = LinkStateMode::kDenseReference;
+  EXPECT_EQ(m.effective_mode(), LinkStateMode::kDenseReference);
+}
+
+MediumConfig SparseNoFadingConfig() {
+  MediumConfig m = World::NoFadingConfig();
+  m.link_state = LinkStateMode::kSparse;
+  return m;
+}
+
+TEST(MediumSparse, SparseAndDenseAgreeAfterInterleavedMoves) {
+  // Same build + move sequence against a sparse medium and the dense
+  // cached reference: every fan-out count and every pair gain must match.
+  // CountingPropagation has no range bound, so the sparse path runs its
+  // degenerate all-candidates fallback — membership logic still applies.
+  constexpr int kNodes = 12;
+  CountingWorld sparse(kNodes, SparseNoFadingConfig());
+  CountingWorld dense(kNodes);
+  sim::Rng moves(17);
+  for (int m = 0; m < 40; ++m) {
+    const auto who = static_cast<std::size_t>(moves.uniform_int(0, kNodes - 1));
+    const Position p{moves.uniform(0.0, 400.0), moves.uniform(0.0, 50.0)};
+    sparse.radios[who]->set_position(p);
+    dense.radios[who]->set_position(p);
+    for (int a = 0; a < kNodes; ++a) {
+      ASSERT_EQ(sparse.medium.fanout_candidates(static_cast<NodeId>(a)),
+                dense.medium.fanout_candidates(static_cast<NodeId>(a)))
+          << "after move " << m << " source " << a;
+      for (int b = 0; b < kNodes; ++b) {
+        if (a == b) continue;
+        ASSERT_EQ(sparse.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                                  static_cast<NodeId>(b)),
+                  dense.medium.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                                 static_cast<NodeId>(b)))
+            << "after move " << m << " link " << a << "->" << b;
+      }
+    }
+  }
+}
+
+// Friis with a range bound AND call counting: lets tests assert the
+// spatial index keeps far pairs from ever being computed.
+class BoundedCountingPropagation final : public PropagationModel {
+ public:
+  double rx_power_dbm(double tx_power_dbm, NodeId from, NodeId to,
+                      const Position& from_pos,
+                      const Position& to_pos) const override {
+    ++calls;
+    return inner_.rx_power_dbm(tx_power_dbm, from, to, from_pos, to_pos);
+  }
+  double rx_power_bound_dbm(double tx_power_dbm, double distance_m,
+                            double guard_sigmas) const override {
+    return inner_.rx_power_bound_dbm(tx_power_dbm, distance_m, guard_sigmas);
+  }
+  mutable std::uint64_t calls = 0;
+
+ private:
+  FriisPropagation inner_;
+};
+
+TEST(MediumSparse, BoundedModelNeverComputesCrossClusterGains) {
+  // Two 6-node clusters ~1e6 m apart: with a range-bounded model the
+  // spatial index must keep every cross-cluster pair out of the candidate
+  // sets, so attaching all 12 radios costs only within-cluster queries.
+  sim::Simulator sim;
+  auto prop = std::make_shared<BoundedCountingPropagation>();
+  Medium medium(sim, prop, SparseNoFadingConfig(), sim::Rng(7));
+  auto error = std::make_shared<NistErrorModel>();
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < 12; ++i) {
+    const double base_x = i < 6 ? 0.0 : 1.0e6;
+    radios.push_back(std::make_unique<Radio>(
+        sim, medium, static_cast<NodeId>(i),
+        Position{base_x + 30.0 * (i % 6), 12.0 * (i % 3)}, RadioConfig{},
+        error, sim::Rng(500 + i)));
+  }
+  EXPECT_TRUE(std::isfinite(medium.candidate_radius_m()));
+  // 2 clusters x 6*5 directed within-cluster pairs; nothing else.
+  EXPECT_EQ(prop->calls, 2u * 30u);
+  for (int a = 0; a < 12; ++a) {
+    EXPECT_EQ(medium.fanout_candidates(static_cast<NodeId>(a)), 5u) << a;
+  }
+  // Off-grid queries still answer (computed directly, not cached).
+  EXPECT_LT(medium.mean_rx_power_dbm(0, 11), -150.0);
+}
+
+TEST(MediumSparse, MovedSparseMediumMatchesAFreshSparseBuild) {
+  constexpr int kNodes = 10;
+  sim::Simulator sim;
+  auto prop = std::make_shared<BoundedCountingPropagation>();
+  Medium moved(sim, prop, SparseNoFadingConfig(), sim::Rng(7));
+  auto error = std::make_shared<NistErrorModel>();
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<Position> final_pos;
+  for (int i = 0; i < kNodes; ++i) {
+    final_pos.push_back({45.0 * i, 8.0 * (i % 4)});
+    radios.push_back(std::make_unique<Radio>(sim, moved,
+                                             static_cast<NodeId>(i),
+                                             final_pos.back(), RadioConfig{},
+                                             error, sim::Rng(500 + i)));
+  }
+  sim::Rng mv(3);
+  for (int m = 0; m < 30; ++m) {
+    const auto who = static_cast<std::size_t>(mv.uniform_int(0, kNodes - 1));
+    final_pos[who] = {mv.uniform(0.0, 900.0), mv.uniform(0.0, 80.0)};
+    radios[who]->set_position(final_pos[who]);
+  }
+  Medium fresh(sim, prop, SparseNoFadingConfig(), sim::Rng(7));
+  std::vector<std::unique_ptr<Radio>> fresh_radios;
+  for (int i = 0; i < kNodes; ++i) {
+    fresh_radios.push_back(std::make_unique<Radio>(
+        sim, fresh, static_cast<NodeId>(i), final_pos[i], RadioConfig{},
+        error, sim::Rng(500 + i)));
+  }
+  for (int a = 0; a < kNodes; ++a) {
+    EXPECT_EQ(moved.fanout_candidates(static_cast<NodeId>(a)),
+              fresh.fanout_candidates(static_cast<NodeId>(a)));
+    for (int b = 0; b < kNodes; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(moved.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                        static_cast<NodeId>(b)),
+                fresh.mean_rx_power_dbm(static_cast<NodeId>(a),
+                                        static_cast<NodeId>(b)));
+    }
+  }
+}
+
+TEST(MediumSparse, EpochRefreshTracksDynamicShadowingViaWatchLists) {
+  // A time-varying channel: below-floor links sit on watch lists and are
+  // only re-evaluated once the AR(1) epoch-delta bound says they could
+  // have crossed the cull floor. Over many epochs the sparse medium must
+  // stay in exact agreement with the dense cached reference, including
+  // links that cross the floor in either direction.
+  constexpr int kNodes = 14;
+  dynamics::ChannelConfig cc;
+  cc.sigma_db = 4.0;
+  cc.correlation = 0.7;
+  cc.seed = 42;
+  auto make_world = [&](LinkStateMode mode) {
+    auto base = std::make_shared<LogDistanceShadowing>();
+    auto model = std::make_shared<dynamics::DynamicShadowing>(base, cc);
+    MediumConfig mcfg = World::NoFadingConfig();
+    mcfg.link_state = mode;
+    auto w = std::make_unique<World>(nist(), mcfg, model);
+    sim::Rng place(11);
+    for (int i = 0; i < kNodes; ++i) {
+      // Spread so plenty of pair gains straddle the delivery floor.
+      w->add_radio(static_cast<NodeId>(i),
+                   {place.uniform(0.0, 260.0), place.uniform(0.0, 260.0)});
+    }
+    return std::pair{std::move(w), std::move(model)};
+  };
+  auto [sparse_w, sparse_ch] = make_world(LinkStateMode::kSparse);
+  auto [dense_w, dense_ch] = make_world(LinkStateMode::kDenseCached);
+  bool saw_watch = false;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    sparse_ch->advance_epoch();
+    dense_ch->advance_epoch();
+    sparse_w->medium().refresh_all();
+    dense_w->medium().refresh_all();
+    saw_watch |= sparse_w->medium().watch_entries() > 0;
+    for (int a = 0; a < kNodes; ++a) {
+      ASSERT_EQ(sparse_w->medium().fanout_candidates(static_cast<NodeId>(a)),
+                dense_w->medium().fanout_candidates(static_cast<NodeId>(a)))
+          << "epoch " << epoch << " source " << a;
+      for (int b = 0; b < kNodes; ++b) {
+        if (a == b) continue;
+        ASSERT_DOUBLE_EQ(
+            sparse_w->medium().mean_rx_power_dbm(static_cast<NodeId>(a),
+                                                 static_cast<NodeId>(b)),
+            dense_w->medium().mean_rx_power_dbm(static_cast<NodeId>(a),
+                                                static_cast<NodeId>(b)))
+            << "epoch " << epoch << " link " << a << "->" << b;
+      }
+    }
+  }
+  // The scenario is only interesting if the watch machinery engaged.
+  EXPECT_TRUE(saw_watch);
+}
+
+TEST(MediumSparse, StaticModelKeepsNoWatchLists) {
+  // With a static propagation model nothing can ever cross the floor, so
+  // below-floor candidates are discarded outright — the property that
+  // keeps 10k-node static worlds at active-links-only memory.
+  World w(nist(), SparseNoFadingConfig());
+  w.add_radio(1, {0, 0});
+  w.add_radio(2, {320, 0});
+  w.add_radio(3, {3000, 0});
+  EXPECT_EQ(w.medium().watch_entries(), 0u);
+}
+
+TEST(MediumSparse, SparseAndReferenceDeliveriesAreIdenticalWithFading) {
+  // Full-stack check: the sparse fan-out must reproduce the brute-force
+  // reference frame for frame (per-(frame, receiver) fading substreams
+  // make culling invisible to every surviving delivery).
+  auto run_once = [](LinkStateMode mode) {
+    MediumConfig mcfg;  // fading ON (default sigma 2 dB)
+    mcfg.link_state = mode;
+    World w(nist(), mcfg);
+    Radio& a = w.add_radio(1, {0, 0});
+    w.add_radio(2, {320, 0});      // marginal link, fading decides
+    w.add_radio(3, {150, 40});     // solid link
+    w.add_radio(4, {900'000, 0});  // culled under the sparse path
+    for (int i = 0; i < 80; ++i) {
+      w.simulator().at(i * sim::milliseconds(2),
+                       [&] { a.transmit(World::whole_frame(1400)); });
+    }
+    w.simulator().run();
+    return std::tuple{w.radio(1).counters().locks, w.radio(1).counters().rx_ok,
+                      w.radio(2).counters().locks, w.radio(2).counters().rx_ok,
+                      w.listener(3).rx_starts.size()};
+  };
+  EXPECT_EQ(run_once(LinkStateMode::kSparse),
+            run_once(LinkStateMode::kDenseReference));
 }
 
 class FadingSigmaSweep : public ::testing::TestWithParam<int> {};

@@ -29,7 +29,7 @@ Sweep make_sweep(const char* scenario, core::DecisionMode mode,
   // differ in nothing but the code path under test (same seeds, same
   // variant index, same empty label).
   sweep.variants = {{"", [mode](testbed::RunConfig& c) {
-                       c.decision_mode = mode;
+                       c.with_decision_mode(mode);
                      }}};
   sweep.topologies = topologies;
   sweep.duration = duration;

@@ -21,8 +21,8 @@ TEST(Registry, GlobalHasEveryBuiltin) {
         "mesh_dissemination", "interferer_triple", "disjoint_flows_2",
         "disjoint_flows_7", "dest_queue_ablation", "chain", "mixed_floor",
         "dense_grid_10", "dense_grid_25", "dense_grid_50", "testbed_100",
-        "flows_50", "mobile_floor_25", "mobile_floor_50", "mobile_chain",
-        "churn_25"}) {
+        "flows_50", "metro_10k", "mobile_floor_25", "mobile_floor_50",
+        "mobile_chain", "churn_25"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
 }

@@ -85,6 +85,40 @@ TEST(Experiment, MeasurementWindowExcludesWarmup) {
   EXPECT_DOUBLE_EQ(result.flows[0].mbps, 0.0);
 }
 
+TEST(Experiment, FluentBuilderConfiguresEveryGroupedKnob) {
+  const RunConfig rc = RunConfig{}
+                           .with_scheme(Scheme::kCsmaOffAcks)
+                           .with_duration(sim::seconds(3))
+                           .with_warmup(sim::seconds(1))
+                           .with_seed(17)
+                           .with_packet_bytes(500)
+                           .with_per_dest_queues(true)
+                           .with_decision_mode(core::DecisionMode::kReference)
+                           .with_nvpkt(4)
+                           .with_nwindow(2)
+                           .with_defer_ttl(sim::seconds(6))
+                           .with_ilist_period(sim::milliseconds(250));
+  EXPECT_EQ(rc.scheme, Scheme::kCsmaOffAcks);
+  EXPECT_EQ(rc.duration, sim::seconds(3));
+  EXPECT_EQ(rc.warmup, sim::seconds(1));
+  EXPECT_EQ(rc.seed, 17u);
+  EXPECT_EQ(rc.packet_bytes, 500u);
+  EXPECT_TRUE(rc.per_dest_queues);
+  EXPECT_EQ(rc.cmap.decision_mode, core::DecisionMode::kReference);
+  EXPECT_EQ(rc.cmap.nvpkt, 4);
+  EXPECT_EQ(rc.cmap.nwindow, 2);
+  EXPECT_EQ(rc.cmap.defer_ttl, sim::seconds(6));
+  EXPECT_EQ(rc.cmap.ilist_period, sim::milliseconds(250));
+  // Overrides reach the MAC through the grouped struct.
+  World world(shared_testbed(),
+              RunConfig{}.with_nvpkt(3).with_defer_ttl(sim::seconds(9)));
+  const Flow f = first_potential_flow();
+  world.add_node(f.src);
+  ASSERT_NE(world.cmap(f.src), nullptr);
+  EXPECT_EQ(world.cmap(f.src)->config().nvpkt, 3);
+  EXPECT_EQ(world.cmap(f.src)->config().defer_entry_ttl, sim::seconds(9));
+}
+
 TEST(Experiment, WorldExposesComponentsForBespokeScenarios) {
   World world(shared_testbed(), quick(Scheme::kCmap));
   const Flow f = first_potential_flow();

@@ -6,7 +6,7 @@ JSONs with a trailing "timing"-scheme row each) against the committed
 baseline, and optionally checks the fast-path speedup ratios from a Google
 Benchmark JSON produced by bench_micro.
 
-Five timing rows are gated today, matched by scenario name across however
+Six timing rows are gated today, matched by scenario name across however
 many --pr files are given:
   dense_grid_bench       (bench_dense_grid)      — simulation hot path
   testbed_measure_bench  (bench_testbed_measure) — measurement pass; its
@@ -26,6 +26,15 @@ many --pr files are given:
       categories disabled vs untraced, both timed in the same process) is
       enforced as a fixed maximum of 1.02: disabled instrumentation must
       stay within 2% of free.
+  metro_bench            (bench_metro)           — sparse link-state memory
+      at the 10,000-node metro scale; its metro_sparse_peak_rss_mb metric
+      (process peak RSS taken before any dense-store work runs) is
+      enforced as a fixed maximum of 256 MB. The dense O(n^2) pair state
+      would need ~1.6 GB for the measurement matrices alone, so any layer
+      silently re-densifying fails the gate outright rather than creeping.
+      metro_stored_links is exact: same seed, same culling geometry, same
+      sparse link count — a drift means the spatial index or cull floor
+      changed behavior.
 
 Wall-clock comparisons (metrics ending in "_ms") are normalized by each
 row's own calibration_ms (a fixed CPU-bound workload timed on the same
@@ -49,7 +58,7 @@ CALIBRATION_KEY = "calibration_ms"
 # comparison is only meaningful when the PR ran the same workload the
 # baseline did.
 EXACT_KEYS = {"nodes", "configs", "run_seconds", "threads", "measure_threads",
-              "flows", "decisions", "moves"}
+              "flows", "decisions", "moves", "metro_stored_links"}
 # Metrics enforced as raw minimums (machine-independent ratios measured
 # within one process). Values name the argparse option carrying the bound.
 MIN_KEYS = {"measure_speedup": "min_measure_speedup",
@@ -62,13 +71,19 @@ MIN_KEYS = {"measure_speedup": "min_measure_speedup",
 # bench exists to catch, not a diagnostic.
 FIXED_MIN_KEYS = {"cache_hit": 1.0, "decisions_match": 1.0,
                   "mobility_states_match": 1.0}
-# Metrics enforced as fixed maximums (machine-independent ratios measured
-# within one process, like FIXED_MIN_KEYS but bounded from above):
+# Metrics enforced as fixed maximums (machine-independent quantities,
+# like FIXED_MIN_KEYS but bounded from above):
 # trace_overhead_off is the CPU-time ratio of a sweep with a Tracer
 # attached but every category disabled vs the same sweep untraced — the
 # trace subsystem's bounded-overhead guarantee (each disabled site is one
 # branch on a cached mask) that makes it safe to leave compiled in.
-FIXED_MAX_KEYS = {"trace_overhead_off": 1.02}
+# metro_sparse_peak_rss_mb is bench_metro's process peak RSS after the
+# sparse 10k-node build + sweep and before any dense work: the sparse
+# stores measure ~21 MB while the dense pair matrices alone would be
+# ~1.6 GB, so 256 MB is ~12x headroom for allocator noise yet an order of
+# magnitude below what any re-densified layer would cost.
+FIXED_MAX_KEYS = {"trace_overhead_off": 1.02,
+                  "metro_sparse_peak_rss_mb": 256.0}
 # Reported, never gated: non-timing diagnostics, plus the reference
 # oracles' runtimes — they exist only as denominators of the gated speedup
 # ratios, and their ~1 s baselines sit close enough to MIN_GATED_MS that
