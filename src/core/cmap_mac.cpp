@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 
 #include "phy/medium.h"
 #include "sim/assert.h"
@@ -550,12 +551,20 @@ CmapMac::VpRxContext& CmapMac::context_for(phy::NodeId src,
   auto it = rx_contexts_.find(key);
   if (it == rx_contexts_.end()) {
     if (rx_contexts_.size() >= kMaxRxContexts) {
-      // Evict an arbitrary finalized (or failing that, any) context.
+      // Evict the smallest-key finalized context (or, failing that, the
+      // smallest-key context outright).  Taking the min over the whole
+      // table instead of *.begin() keeps the victim independent of hash
+      // order, so eviction behaviour is identical across standard
+      // libraries, not just across runs.
+      // cmap-lint: allow(unordered-iter) -- min-key scan; the result is
+      // invariant under traversal order.
       auto victim = rx_contexts_.begin();
-      for (auto v = rx_contexts_.begin(); v != rx_contexts_.end(); ++v) {
-        if (v->second.finalized) {
+      bool victim_finalized = victim->second.finalized;
+      for (auto v = std::next(victim); v != rx_contexts_.end(); ++v) {
+        const bool fin = v->second.finalized;
+        if (fin != victim_finalized ? fin : v->first < victim->first) {
           victim = v;
-          break;
+          victim_finalized = fin;
         }
       }
       victim->second.finalize_event.cancel();

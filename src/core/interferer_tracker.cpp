@@ -1,6 +1,8 @@
 #include "core/interferer_tracker.h"
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
 
 namespace cmap::core {
 
@@ -41,6 +43,9 @@ void InterfererTracker::observe(phy::NodeId sender, phy::WifiRate sender_rate,
 
 std::vector<InterfererEntry> InterfererTracker::snapshot(sim::Time now) const {
   std::vector<InterfererEntry> out;
+  // cmap-lint: allow(unordered-iter) -- entries are sorted by
+  // (source, interferer) below before any caller sees them, so hash
+  // order never reaches the wire (snapshot feeds broadcast_ilist).
   for (const auto& [k, s] : pair_stats_) {
     // Peek with decay applied but without mutating (const snapshot).
     double expected = s.expected;
@@ -60,6 +65,14 @@ std::vector<InterfererEntry> InterfererTracker::snapshot(sim::Time now) const {
     e.interferer_rate = s.interferer_rate;
     out.push_back(e);
   }
+  // The snapshot goes onto the wire (InterfererListFrame) and into
+  // receivers' defer tables; emit it in a stable order so behaviour is
+  // identical across standard libraries, not just across runs.
+  std::sort(out.begin(), out.end(),
+            [](const InterfererEntry& a, const InterfererEntry& b) {
+              return std::tie(a.source, a.interferer) <
+                     std::tie(b.source, b.interferer);
+            });
   return out;
 }
 

@@ -38,6 +38,8 @@ std::vector<std::uint32_t> SendWindow::on_ack(const CmapAckFrame& ack) {
 }
 
 std::vector<std::uint32_t> SendWindow::unacked_in_sequence() const {
+  // cmap-lint: allow(unordered-iter) -- copied out of the set and sorted
+  // on the next line; hash order never escapes this function.
   std::vector<std::uint32_t> out(outstanding_.begin(), outstanding_.end());
   std::sort(out.begin(), out.end());
   return out;

@@ -141,6 +141,9 @@ void MobilityModel::tick() {
   if (!initialized_) init_states();
   const double dt_s = sim::to_seconds(config_.tick);
   const sim::Time now = sim_.now();
+  // cmap-lint: allow(unordered-iter) -- MobilityModel::states_ is a
+  // std::vector (the lint matches the name against DynamicShadowing's
+  // unordered states_); vector order is insertion order, deterministic.
   for (NodeState& st : states_) {
     phy::Radio* radio = medium_.radio(st.id);
     CMAP_ASSERT(radio != nullptr, "mobile node has no radio");

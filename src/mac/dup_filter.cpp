@@ -16,6 +16,9 @@ bool DupFilter::seen_before(phy::NodeId sender, std::uint32_t seq) {
   // Evict entries that fell out of the window. Amortized cheap: each seq
   // enters and leaves the set once.
   if (s.seen.size() > 2 * window_) {
+    // cmap-lint: allow(unordered-iter) -- eviction scan; the surviving
+    // set is { seq : seq + window >= max_seq } whatever order the scan
+    // visits entries in, and the set is only ever queried by membership.
     for (auto it = s.seen.begin(); it != s.seen.end();) {
       if (*it + window_ < s.max_seq) {
         it = s.seen.erase(it);

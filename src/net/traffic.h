@@ -6,8 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "mac/mac.h"
 #include "sim/simulator.h"

@@ -30,6 +30,9 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 ScenarioRegistry& ScenarioRegistry::global() {
+  // cmap-lint: allow(mutable-static) -- process-wide registry, fully
+  // populated once under the magic-static guard; runtime use is
+  // read-only lookups, so it cannot race or couple runs.
   static ScenarioRegistry* registry = [] {
     auto* r = new ScenarioRegistry();
     register_builtin_scenarios(*r);

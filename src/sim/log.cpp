@@ -1,14 +1,22 @@
 #include "sim/log.h"
 
+#include <atomic>
+
 #include "trace/trace.h"
 
 namespace cmap::sim {
 namespace {
-LogLevel g_level = LogLevel::kNone;
+// Atomic because sweep worker threads read the level on every log_line
+// while the main thread may (re)set it around a run; a plain global
+// here is a data race under TSan even though torn reads of an enum are
+// benign in practice.
+std::atomic<LogLevel> g_level{LogLevel::kNone};
 }
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, Time now, const std::string& component,
               const std::string& message) {
@@ -18,7 +26,7 @@ void log_line(LogLevel level, Time now, const std::string& component,
   if (trace::Tracer* t = trace::Tracer::thread_active()) {
     t->log(now, static_cast<std::uint32_t>(level), component, message);
   }
-  if (level > g_level) return;
+  if (level > g_level.load(std::memory_order_relaxed)) return;
   const char* tag = level == LogLevel::kError  ? "E"
                     : level == LogLevel::kInfo ? "I"
                                                : "D";

@@ -10,6 +10,9 @@
 namespace cmap::sim {
 
 int default_thread_count() {
+  // Called from the main thread before any pool exists, and nothing in
+  // this process ever calls setenv, so the non-reentrant read is safe.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* v = std::getenv("CMAP_BENCH_THREADS")) {
     const long n = std::atol(v);
     if (n > 0) return static_cast<int>(n);

@@ -311,6 +311,9 @@ void TestbedCache::clear() {
 }
 
 TestbedCache& TestbedCache::global() {
+  // cmap-lint: allow(mutable-static) -- memo keyed by the full testbed
+  // config; every access goes through its internal mutex, and a cache
+  // hit returns the same immutable Testbed a miss would build.
   static TestbedCache cache;
   return cache;
 }

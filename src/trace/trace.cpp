@@ -12,6 +12,9 @@ constexpr std::size_t kFileBufferBytes = 64 * 1024;
 // The calling thread's stack of live Tracers (innermost wins). thread_local
 // because SweepRunner executes independent runs — each with its own Tracer
 // — concurrently on worker threads.
+// cmap-lint: allow(mutable-static) -- the per-thread binding IS the
+// mechanism that keeps concurrent sweep runs' traces apart; each worker
+// only ever sees the tracer it bound itself (see Tracer::bind_world).
 thread_local Tracer* g_thread_tracer = nullptr;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {

@@ -1,0 +1,11 @@
+// Fixture: annotation misuse must itself be flagged.
+#include <cstdint>
+
+// cmap-lint: allow(mutable-static)
+static std::uint64_t g_no_reason = 0;  // bad-annotation: missing -- reason
+
+// cmap-lint: allow(no-such-rule) -- made-up rule name
+static std::uint64_t g_bad_rule = 0;   // bad-annotation + mutable-static
+
+// cmap-lint: allow(banned-random) -- nothing random below, so this is dead
+std::uint64_t read_both() { return g_no_reason + g_bad_rule; }

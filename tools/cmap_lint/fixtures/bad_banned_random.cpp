@@ -1,0 +1,9 @@
+// Fixture: banned-random must fire on each seeded violation.
+#include <cstdlib>
+#include <random>
+
+int entropy() {
+  std::random_device rd;                  // violation: hardware entropy
+  std::srand(42);                         // violation: global C RNG seed
+  return std::rand() + static_cast<int>(rd());  // violation: std::rand
+}

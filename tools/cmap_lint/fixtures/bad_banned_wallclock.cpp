@@ -1,0 +1,9 @@
+// Fixture: banned-wallclock must fire on each seeded violation.
+#include <chrono>
+#include <ctime>
+
+long now_ns() {
+  auto t = std::chrono::steady_clock::now();  // violation: steady_clock
+  std::time_t wall = time(nullptr);           // violation: time(nullptr)
+  return t.time_since_epoch().count() + wall + clock();  // violation: clock()
+}

@@ -1,0 +1,12 @@
+// Fixture: mutable-static must fire on hidden shared state.
+#include <cstdint>
+
+static std::uint64_t g_counter = 0;       // violation: mutable namespace static
+thread_local int t_depth = 0;             // violation: thread_local state
+
+int bump() {
+  static int calls;                       // violation: function-local static
+  ++calls;
+  ++t_depth;
+  return static_cast<int>(++g_counter) + calls;
+}

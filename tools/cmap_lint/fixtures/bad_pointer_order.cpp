@@ -1,0 +1,14 @@
+// Fixture: pointer-order must fire on each seeded violation.
+#include <cstdint>
+#include <functional>
+#include <map>
+
+struct Node {};
+
+std::size_t order_by_address(Node* n) {
+  std::map<Node*, int> ranks;                      // violation: pointer key
+  ranks[n] = 1;
+  std::hash<Node*> h;                              // violation: hash<T*>
+  auto v = reinterpret_cast<std::uintptr_t>(n);    // violation: uintptr cast
+  return h(n) + v + ranks.size();
+}

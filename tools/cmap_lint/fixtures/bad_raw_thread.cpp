@@ -1,0 +1,10 @@
+// Fixture: raw-thread must fire outside the blessed concurrency layer.
+#include <future>
+#include <thread>
+
+void fan_out() {
+  std::thread t([] {});                        // violation: raw std::thread
+  auto f = std::async(std::launch::async, [] { return 1; });  // violation
+  t.join();
+  f.get();
+}

@@ -1,0 +1,19 @@
+// Fixture: unordered-iter must fire on hash-order traversals.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Table {
+  std::unordered_map<std::uint64_t, int> cells_;
+  std::unordered_set<std::uint32_t> members_;
+
+  std::vector<int> dump() const {
+    std::vector<int> out;
+    for (const auto& [k, v] : cells_) {  // violation: range-for, hash order
+      out.push_back(v);
+    }
+    out.assign(members_.begin(), members_.end());  // violation: .begin()
+    return out;
+  }
+};

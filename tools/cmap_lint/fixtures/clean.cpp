@@ -1,0 +1,36 @@
+// Fixture: the negative control -- idiomatic cmap code the linter must
+// accept without any annotation.  Sorted emit from an unordered map,
+// const statics, simulation-time arithmetic, string contents that look
+// like violations but are data, and a genuinely-annotated traversal.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+const std::string kBanner = "std::rand() and time(nullptr) are banned";
+}  // namespace
+
+struct Stats {
+  std::unordered_map<std::uint32_t, double> per_node_;
+
+  std::vector<std::pair<std::uint32_t, double>> sorted_rows() const {
+    std::vector<std::pair<std::uint32_t, double>> rows;
+    rows.reserve(per_node_.size());
+    // cmap-lint: allow(unordered-iter) -- rows are sorted by key before
+    // any caller sees them, so hash order never escapes this function.
+    for (const auto& [node, value] : per_node_) {
+      rows.emplace_back(node, value);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+};
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= kSeedMix;
+  return x ^ static_cast<std::uint64_t>(kBanner.size());
+}

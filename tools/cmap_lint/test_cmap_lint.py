@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Self-test for cmap_lint: every seeded fixture violation must be
+flagged (per rule, with the expected count and lines), the clean
+fixture must pass, and the annotation machinery must both silence real
+findings and reject malformed / dead annotations.
+
+Run directly or via ctest (registered as `cmap_lint_selftest`)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "cmap_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--json", *args],
+        capture_output=True, text=True)
+    findings = json.loads(proc.stdout) if proc.stdout.strip() else []
+    return proc.returncode, findings
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class FixtureViolations(unittest.TestCase):
+    """Each bad fixture must fail with exactly the seeded findings."""
+
+    def assert_rule_hits(self, path, rule, expected_lines):
+        code, findings = run_lint(fixture(path))
+        self.assertEqual(code, 1, f"{path} should fail the lint")
+        hits = sorted(f["line"] for f in findings if f["rule"] == rule)
+        self.assertEqual(hits, sorted(expected_lines),
+                         f"{path}: wrong {rule} lines: {findings}")
+        extra = [f for f in findings if f["rule"] != rule]
+        self.assertEqual(extra, [], f"{path}: unexpected extra findings")
+
+    def test_banned_random(self):
+        self.assert_rule_hits(
+            "bad_banned_random.cpp", "banned-random", [6, 7, 8])
+
+    def test_banned_wallclock(self):
+        self.assert_rule_hits(
+            "bad_banned_wallclock.cpp", "banned-wallclock", [6, 7, 8])
+
+    def test_pointer_order(self):
+        self.assert_rule_hits(
+            "bad_pointer_order.cpp", "pointer-order", [9, 11, 12])
+
+    def test_unordered_iter(self):
+        self.assert_rule_hits(
+            "bad_unordered_iter.cpp", "unordered-iter", [13, 16])
+
+    def test_raw_thread(self):
+        self.assert_rule_hits(
+            "bad_raw_thread.cpp", "raw-thread", [6, 7])
+
+    def test_mutable_static(self):
+        self.assert_rule_hits(
+            "bad_mutable_static.cpp", "mutable-static", [4, 5, 8])
+
+
+class AnnotationHandling(unittest.TestCase):
+    def test_bad_annotations_flagged(self):
+        code, findings = run_lint(fixture("bad_annotations.cpp"))
+        self.assertEqual(code, 1)
+        rules = sorted(f["rule"] for f in findings)
+        # Two malformed annotations, one dead one, and the two statics
+        # they fail to silence (the valid-looking-but-reasonless one
+        # silences nothing; the unknown-rule one silences nothing).
+        self.assertEqual(rules.count("bad-annotation"), 2, findings)
+        self.assertEqual(rules.count("unused-annotation"), 1, findings)
+        self.assertEqual(rules.count("mutable-static"), 2, findings)
+
+    def test_allow_file_scope(self):
+        src = (
+            "// cmap-lint: allow-file(mutable-static) -- test scratch file\n"
+            "static int g_a = 0;\n"
+            "static int g_b = 0;\n"
+            "int sum() { return ++g_a + ++g_b; }\n")
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", delete=False) as f:
+            f.write(src)
+            path = f.name
+        try:
+            code, findings = run_lint(path)
+            self.assertEqual(code, 0, findings)
+            self.assertEqual(findings, [])
+        finally:
+            os.unlink(path)
+
+    def test_preceding_line_annotation(self):
+        src = (
+            "// cmap-lint: allow(mutable-static) -- counter local to test\n"
+            "static int g_count = 0;\n"
+            "int bump() { return ++g_count; }\n")
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", delete=False) as f:
+            f.write(src)
+            path = f.name
+        try:
+            code, findings = run_lint(path)
+            self.assertEqual(code, 0, findings)
+        finally:
+            os.unlink(path)
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_passes(self):
+        code, findings = run_lint(fixture("clean.cpp"))
+        self.assertEqual(code, 0, f"clean fixture flagged: {findings}")
+        self.assertEqual(findings, [])
+
+    def test_all_bad_fixtures_fail(self):
+        """Belt and braces: no bad fixture may ever pass silently."""
+        for name in sorted(os.listdir(FIXTURES)):
+            if not name.startswith("bad_"):
+                continue
+            code, findings = run_lint(fixture(name))
+            self.assertEqual(code, 1, f"{name} unexpectedly clean")
+            self.assertGreater(len(findings), 0, name)
+
+
+class DriverBehaviour(unittest.TestCase):
+    def test_missing_file_is_usage_error(self):
+        code, _ = run_lint(fixture("no_such_file.cpp"))
+        self.assertEqual(code, 2)
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("banned-random", "unordered-iter", "mutable-static"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_string_and_comment_contents_ignored(self):
+        src = (
+            "#include <string>\n"
+            "// std::rand() in a comment is fine\n"
+            "/* so is time(nullptr) in a block comment */\n"
+            'const std::string kDoc = "std::rand() time(nullptr)";\n'
+            "const char* raw = R\"(random_device std::thread)\";\n")
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", delete=False) as f:
+            f.write(src)
+            path = f.name
+        try:
+            code, findings = run_lint(path)
+            self.assertEqual(code, 0, findings)
+        finally:
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    unittest.main()
