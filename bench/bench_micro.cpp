@@ -162,9 +162,10 @@ void run_transmit_fanout(benchmark::State& state, bool fast) {
   FanoutWorld w(n, fast);
   phy::Radio& src = *w.radios[static_cast<std::size_t>(n) / 2];
   int batch = 0;
+  std::uint64_t fid_seq = 0;
   for (auto _ : state) {
     phy::Frame f;
-    f.id = w.medium.next_frame_id();
+    f.id = phy::make_frame_id(src.id(), ++fid_seq);
     f.tx_node = src.id();
     f.segments = {{phy::SegmentKind::kWhole, 1400}};
     f.duration = phy::frame_airtime(phy::WifiRate::k6Mbps, 1400);

@@ -115,7 +115,7 @@ CmapMac::CmapMac(sim::Simulator& simulator, phy::Radio& radio,
                config.interferer_halflife) {
   CMAP_ASSERT(config_.mode != PhyMode::kIntegrated || config_.nvpkt == 1,
               "integrated mode carries one packet per frame");
-  trace_.bind(radio_.medium().tracer(), radio_.id());
+  trace_.bind(radio_.medium().tracer_for(radio_.id()), radio_.id());
   defer_table_.set_tracer(trace_.tracer, radio_.id());
   ongoing_.set_tracer(trace_.tracer, radio_.id());
   radio_.set_listener(this);

@@ -23,7 +23,13 @@ Dynamics::Dynamics(sim::Simulator& simulator, phy::Medium& medium,
 
 void Dynamics::start() {
   if (mobility_) mobility_->start();
-  if (channel_) sim_.in(config_.channel->epoch, [this] { channel_step(); });
+  // Global rank: dynamics events mutate shared medium state, so the PDES
+  // engine runs them alone at a barrier — and the serial queue sorts them
+  // first at their tick to match.
+  if (channel_) {
+    sim_.in_ranked(config_.channel->epoch, sim::kGlobalRank,
+                   [this] { channel_step(); });
+  }
 }
 
 void Dynamics::channel_step() {
@@ -36,7 +42,8 @@ void Dynamics::channel_step() {
   // event where a full refresh is the *correct* cost, unlike a single
   // node's move (see MediumConfig::incremental_invalidation).
   medium_.refresh_all();
-  sim_.in(config_.channel->epoch, [this] { channel_step(); });
+  sim_.in_ranked(config_.channel->epoch, sim::kGlobalRank,
+                 [this] { channel_step(); });
 }
 
 }  // namespace cmap::dynamics

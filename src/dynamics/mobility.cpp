@@ -21,7 +21,9 @@ MobilityModel::MobilityModel(sim::Simulator& simulator, phy::Medium& medium,
 }
 
 void MobilityModel::start() {
-  sim_.in(config_.tick, [this] { tick(); });
+  // Global rank: moves mutate the medium's shared link caches (see
+  // Dynamics::start for the barrier contract).
+  sim_.in_ranked(config_.tick, sim::kGlobalRank, [this] { tick(); });
 }
 
 phy::Position MobilityModel::draw_position(sim::Rng& rng) const {
@@ -149,7 +151,7 @@ void MobilityModel::tick() {
     CMAP_ASSERT(radio != nullptr, "mobile node has no radio");
     step_node(st, *radio, dt_s, now);
   }
-  sim_.in(config_.tick, [this] { tick(); });
+  sim_.in_ranked(config_.tick, sim::kGlobalRank, [this] { tick(); });
 }
 
 }  // namespace cmap::dynamics

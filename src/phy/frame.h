@@ -24,6 +24,18 @@ struct Payload {
   virtual ~Payload() = default;
 };
 
+/// Globally unique per-transmission frame id derived from the sender
+/// alone: ((tx + 1) << 40) | per-sender sequence. Sender-local derivation
+/// keeps ids identical between the serial and partitioned (PDES)
+/// executives — a medium-global counter would depend on how node events
+/// interleave across partitions — which matters because per-delivery
+/// fading substreams are keyed on the frame id. NodeId < 2^20 (the
+/// medium's id cap) and < 2^40 frames per sender fit without collision;
+/// the +1 keeps 0 free as the "no frame" sentinel receivers rely on.
+constexpr std::uint64_t make_frame_id(NodeId tx_node, std::uint64_t seq) {
+  return ((static_cast<std::uint64_t>(tx_node) + 1) << 40) | seq;
+}
+
 enum class SegmentKind : std::uint8_t { kWhole, kHeader, kBody, kTrailer };
 
 struct Segment {

@@ -7,10 +7,10 @@
 #include "phy/radio.h"
 #include "phy/units.h"
 #include "sim/assert.h"
+#include "sim/pdes.h"
 
 namespace cmap::phy {
 namespace {
-constexpr double kSpeedOfLight = 2.99792458e8;
 // Sentinel gain for the (i, i) self pair; never clears any floor.
 constexpr double kSelfGainDbm = -1e30;
 // The NodeId -> index map is a flat vector sized to the largest attached
@@ -57,9 +57,18 @@ Medium::Link Medium::compute_link(const Radio& src, const Radio& dst) const {
   link.gain_dbm =
       propagation_->rx_power_dbm(src.config().tx_power_dbm, src.id(), dst.id(),
                                  src.position(), dst.position());
-  const double d = distance(src.position(), dst.position());
-  link.delay = static_cast<sim::Time>(d / kSpeedOfLight * 1e9);
+  // Shared with the PDES lookahead derivation (phy/partition.h) so the
+  // lookahead provably lower-bounds every link delay.
+  link.delay = propagation_delay_ns(distance(src.position(), dst.position()));
   return link;
+}
+
+void Medium::set_partition_tracers(std::vector<trace::Tracer*> tracers) {
+  part_tracers_ = std::move(tracers);
+  part_hooks_.assign(part_tracers_.size(), trace::TraceHook{});
+  for (std::size_t p = 0; p < part_tracers_.size(); ++p) {
+    part_hooks_[p].bind(part_tracers_[p]);
+  }
 }
 
 std::uint32_t Medium::index_of(NodeId id) const {
@@ -279,6 +288,7 @@ void Medium::refresh_all() {
 }
 
 void Medium::on_position_changed(Radio& radio) {
+  ++position_epoch_;
   if (mode_ == LinkStateMode::kDenseReference) return;
   const std::uint32_t idx = index_of(radio.id());
   CMAP_ASSERT(idx != kNoIndex, "position change for unattached radio");
@@ -372,16 +382,34 @@ void Medium::deliver_one(Radio& target, const Link& link,
   sig.start = now + (config_.enable_propagation_delay ? link.delay : 0);
   sig.end = sig.start + frame->duration;
   Radio* r = &target;
-  sim_.at(sig.start, [r, sig] { r->deliver(sig); });
+  // Ranked on (frame id, receiver id) — both intrinsic to the delivery —
+  // so same-tick arrivals order identically whether this run is serial or
+  // partitioned, and whichever route (direct or mailbox) a PDES delivery
+  // takes.
+  if (engine_ == nullptr) {
+    sim_.at_ranked(sig.start, sim::delivery_rank(frame->id, target.id()),
+                   [r, sig] { r->deliver(sig); });
+    return;
+  }
+  engine_->schedule_delivery(partition_of(frame->tx_node),
+                             partition_of(target.id()), sig.start, frame->id,
+                             target.id(), [r, sig] { r->deliver(sig); });
 }
 
 void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
-  const sim::Time now = sim_.now();
-  if (trace_.wants(trace::Category::kPhyTx)) {
-    trace_.tracer->phy_tx(now, source.id(), frame->id,
-                          static_cast<std::uint32_t>(frame->rate),
-                          static_cast<std::uint32_t>(frame->size_bytes()),
-                          frame->duration);
+  // The transmit instant is the *source's* clock: under PDES each radio
+  // lives on its partition's simulator, and the medium's own handle is the
+  // global sequencer whose clock lags inside a parallel window.
+  const sim::Time now = source.simulator().now();
+  const trace::TraceHook& hook =
+      engine_ != nullptr && !part_hooks_.empty()
+          ? part_hooks_[static_cast<std::size_t>(partition_of(source.id()))]
+          : trace_;
+  if (hook.wants(trace::Category::kPhyTx)) {
+    hook.tracer->phy_tx(now, source.id(), frame->id,
+                        static_cast<std::uint32_t>(frame->rate),
+                        static_cast<std::uint32_t>(frame->size_bytes()),
+                        frame->duration);
   }
   if (mode_ == LinkStateMode::kSparse) {
     const std::uint32_t si = index_of(source.id());

@@ -36,12 +36,17 @@
 #include <vector>
 
 #include "phy/frame.h"
+#include "phy/partition.h"
 #include "phy/propagation.h"
 #include "phy/spatial_index.h"
 #include "phy/types.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
+
+namespace cmap::sim {
+class PdesEngine;
+}  // namespace cmap::sim
 
 namespace cmap::phy {
 
@@ -135,8 +140,6 @@ class Medium {
   /// propagation model directly — the same value the dense cache holds.
   double mean_rx_power_dbm(NodeId from, NodeId to) const;
 
-  std::uint64_t next_frame_id() { return ++frame_id_; }
-
   /// Attach (or detach, with nullptr) the run's Tracer. The medium is the
   /// natural anchor: every instrumented component already reaches it
   /// (radios attach to it, MACs own a radio, dynamics hold a reference),
@@ -144,6 +147,33 @@ class Medium {
   /// radios are attached — Radio binds in its constructor.
   void set_tracer(trace::Tracer* tracer) { trace_.bind(tracer); }
   trace::Tracer* tracer() const { return trace_.tracer; }
+
+  /// Route deliveries through a PDES engine (testbed::World installs this
+  /// before any radio attaches; both pointers must outlive the medium or
+  /// be cleared). `plan` maps NodeId -> partition. nullptr restores the
+  /// serial path.
+  void set_pdes(sim::PdesEngine* engine, const PartitionPlan* plan) {
+    engine_ = engine;
+    plan_ = engine != nullptr ? plan : nullptr;
+  }
+  /// The partition `id`'s events run in (0 when serial).
+  int partition_of(NodeId id) const {
+    return plan_ != nullptr ? plan_->partition_of(id) : 0;
+  }
+
+  /// Per-partition trace streams (parallel to the engine's partitions).
+  /// Components of a node bind tracer_for(id): the node's partition stream
+  /// under PDES, else the run tracer. Install before radios attach.
+  void set_partition_tracers(std::vector<trace::Tracer*> tracers);
+  trace::Tracer* tracer_for(NodeId id) const {
+    if (plan_ == nullptr || part_tracers_.empty()) return trace_.tracer;
+    return part_tracers_[static_cast<std::size_t>(partition_of(id))];
+  }
+
+  /// Monotone count of radio position changes; the World's PDES lookahead
+  /// refresh uses it to skip recomputing the delay matrix when no node
+  /// moved since the last global barrier.
+  std::uint64_t position_epoch() const { return position_epoch_; }
 
   sim::Simulator& simulator() { return sim_; }
   const MediumConfig& config() const { return config_; }
@@ -217,7 +247,12 @@ class Medium {
   double dyn_delta_db_ = 0.0;  // model's per-epoch bound; 0 = static
   bool track_watch_ = false;   // dyn_delta_db_ > 0: keep below-floor lists
   std::uint64_t channel_epoch_ = 0;
-  std::uint64_t frame_id_ = 0;
+  // ---- PDES routing (null/empty on the serial path) ----
+  sim::PdesEngine* engine_ = nullptr;
+  const PartitionPlan* plan_ = nullptr;
+  std::vector<trace::Tracer*> part_tracers_;
+  std::vector<trace::TraceHook> part_hooks_;  // transmit()'s phy_tx records
+  std::uint64_t position_epoch_ = 0;
 };
 
 }  // namespace cmap::phy

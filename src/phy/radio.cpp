@@ -31,7 +31,7 @@ Radio::Radio(sim::Simulator& simulator, Medium& medium, NodeId id,
       capture_ratio_(db_to_linear(config.capture_margin_db)),
       preamble_min_sinr_(db_to_linear(config.preamble_min_sinr_db)) {
   medium_.attach(this);
-  trace_.bind(medium_.tracer(), id_);
+  trace_.bind(medium_.tracer_for(id_), id_);
 }
 
 const Signal* Radio::find_signal(std::uint64_t frame_id) const {
@@ -56,7 +56,9 @@ void Radio::transmit(Frame frame) {
     }
     abort_rx();
   }
-  frame.id = medium_.next_frame_id();
+  // Sender-derived id (see make_frame_id): identical between the serial
+  // and PDES executives, where a medium-global counter would not be.
+  frame.id = make_frame_id(id_, ++tx_seq_);
   frame.tx_node = id_;
   frame.duration = frame_airtime(frame.rate, frame.size_bytes());
   auto shared = std::make_shared<const Frame>(std::move(frame));

@@ -115,6 +115,10 @@ class Radio {
   /// The medium this radio is attached to (MACs bind their TraceHooks
   /// through it).
   Medium& medium() const { return medium_; }
+  /// The simulator this radio's events run on — the partition simulator
+  /// under PDES, the run simulator otherwise. The medium reads the
+  /// transmit clock from here.
+  sim::Simulator& simulator() const { return sim_; }
   const Position& position() const { return position_; }
   /// Move the radio; the medium re-caches this radio's link gains and
   /// reachability.
@@ -171,6 +175,7 @@ class Radio {
   std::shared_ptr<const Frame> tx_frame_;
   sim::Time tx_start_ = -1;
   sim::Time tx_end_ = -1;
+  std::uint64_t tx_seq_ = 0;  // per-radio counter behind make_frame_id
 
   trace::TraceHook trace_;
   bool last_cca_busy_ = false;

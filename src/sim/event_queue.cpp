@@ -1,34 +1,69 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/assert.h"
 
 namespace cmap::sim {
+namespace {
+// Below this size a compaction scan costs more than the dead entries it
+// could reclaim are worth.
+constexpr std::size_t kCompactFloor = 64;
+}  // namespace
 
-EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+EventId EventQueue::schedule_ranked(Time at, EventRank rank,
+                                    std::function<void()> fn) {
   CMAP_ASSERT(at >= current_time_, "event scheduled into the past");
+  maybe_compact();
   Entry e;
   e.at = at;
-  e.seq = next_seq_++;
+  e.rank = rank;
+  e.seq = seq_source_ != nullptr
+              ? seq_source_->fetch_add(1, std::memory_order_relaxed)
+              : next_seq_++;
   e.fn = std::move(fn);
   e.cancelled = std::make_shared<bool>(false);
   EventId id(e.cancelled);
-  heap_.push(std::move(e));
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
+void EventQueue::maybe_compact() {
+  // Amortized-O(1) trigger: only scan once the heap has doubled past its
+  // size at the previous scan, and only rebuild when at least half the
+  // entries are dead (so a rebuild at least halves the heap). Rebuilding
+  // re-heapifies, which is safe because the comparator is a total order:
+  // the pop sequence never depends on the heap's internal layout.
+  if (heap_.size() < std::max(compact_watermark_ * 2, kCompactFloor)) return;
+  const auto dead = static_cast<std::size_t>(
+      std::count_if(heap_.begin(), heap_.end(),
+                    [](const Entry& e) { return *e.cancelled; }));
+  if (dead * 2 >= heap_.size()) {
+    std::erase_if(heap_, [](const Entry& e) { return *e.cancelled; });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  compact_watermark_ = heap_.size();
+}
+
 void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  while (!heap_.empty() && *heap_.front().cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 bool EventQueue::run_one() {
   drop_cancelled_head();
   if (heap_.empty()) return false;
-  // Move the entry out before running: the callback may schedule new events
-  // and reshape the heap.
-  Entry e = heap_.top();
-  heap_.pop();
+  // pop_heap moves the root to the back, and moving out of back() is a
+  // real move — the std::function and control block are not deep-copied
+  // per dispatch (priority_queue::top() only hands out a const ref, which
+  // forced a copy here before).
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   current_time_ = e.at;
   *e.cancelled = true;  // mark as executed so EventId::pending() flips
   ++executed_;
@@ -38,7 +73,13 @@ bool EventQueue::run_one() {
 
 Time EventQueue::next_time() {
   drop_cancelled_head();
-  return heap_.empty() ? kTimeForever : heap_.top().at;
+  return heap_.empty() ? kTimeForever : heap_.front().at;
+}
+
+EventKey EventQueue::next_key() {
+  drop_cancelled_head();
+  if (heap_.empty()) return EventKey{kTimeForever, EventRank{}, 0};
+  return EventKey{heap_.front().at, heap_.front().rank, heap_.front().seq};
 }
 
 bool EventQueue::empty() {

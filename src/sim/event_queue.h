@@ -1,17 +1,71 @@
 // A binary-heap event queue with O(log n) insertion and lazily cancelled
-// events. Events scheduled for the same instant execute in insertion order
-// (FIFO), which keeps protocol state machines deterministic.
+// events. Same-instant ordering is defined by an explicit EventRank rather
+// than raw insertion order, so the serial executive and the partitioned
+// (PDES) executive sort identical keys and produce identical execution
+// orders — the root of the byte-identity contract (docs/pdes.md). Within
+// one rank, events still execute in insertion order (FIFO), which keeps
+// protocol state machines deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace cmap::sim {
+
+/// Deterministic same-tick ordering key. At one instant, events execute by
+/// ascending (cls, a, b), then FIFO. The three classes:
+///   0 (global)   — dynamics/sequencer events (mobility ticks, channel
+///                  epochs). Under PDES these run alone at a barrier, so
+///                  the serial queue must also sort them first.
+///   2 (local)    — MAC timers, signal ends, rx completions. Scheduled
+///                  and executed within one node's partition, where FIFO
+///                  insertion order is itself deterministic.
+///   3 (delivery) — a frame arriving at a receiver; keyed (frame id,
+///                  receiver id), both intrinsic to the delivery, so the
+///                  order is identical whether the event was scheduled
+///                  locally or drained from a cross-partition mailbox.
+/// Deliveries sort AFTER local events at the same tick on purpose: a
+/// signal-end (or finish_rx) at T must run before a new signal starting
+/// at exactly T, or back-to-back frame trains would overlap for zero
+/// nanoseconds and the receiver — still nominally in Rx — would never
+/// evaluate the new preamble. The legacy insertion-order queue got this
+/// right by accident (end events are inserted a frame-duration earlier);
+/// the rank encodes it explicitly.
+struct EventRank {
+  std::uint8_t cls = 2;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+inline constexpr EventRank kGlobalRank{0, 0, 0};
+constexpr EventRank delivery_rank(std::uint64_t frame_id,
+                                  std::uint64_t receiver) {
+  return EventRank{3, frame_id, receiver};
+}
+
+/// The comparable head-of-queue key: what the PDES group scheduler compares
+/// across member queues when a scheduling group interleaves them. Includes
+/// the seq tie-breaker; queues sharing a seq source (set_seq_source) are
+/// therefore merged in exactly the order one serial queue would have popped
+/// the same events.
+struct EventKey {
+  Time at = 0;
+  EventRank rank;
+  std::uint64_t seq = 0;
+
+  friend bool operator<(const EventKey& x, const EventKey& y) {
+    if (x.at != y.at) return x.at < y.at;
+    if (x.rank.cls != y.rank.cls) return x.rank.cls < y.rank.cls;
+    if (x.rank.a != y.rank.a) return x.rank.a < y.rank.a;
+    if (x.rank.b != y.rank.b) return x.rank.b < y.rank.b;
+    return x.seq < y.seq;
+  }
+};
 
 /// Handle to a scheduled event. Copyable; cancelling any copy cancels the
 /// event. A default-constructed EventId refers to no event.
@@ -34,13 +88,20 @@ class EventId {
   std::shared_ptr<bool> state_;  // true => cancelled or executed
 };
 
-/// Time-ordered queue of callbacks. Not thread-safe: the simulation is
-/// single-threaded by design (determinism).
+/// Time-ordered queue of callbacks. Not thread-safe: each queue is driven
+/// by one executive at a time (the whole simulation for the serial path,
+/// one partition window for PDES).
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at`. `at` must not precede the time of
-  /// the event currently being executed (no scheduling into the past).
-  EventId schedule(Time at, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `at` with the default local rank.
+  /// `at` must not precede the time of the event currently being executed
+  /// (no scheduling into the past).
+  EventId schedule(Time at, std::function<void()> fn) {
+    return schedule_ranked(at, EventRank{}, std::move(fn));
+  }
+
+  /// Schedule with an explicit same-tick ordering rank (see EventRank).
+  EventId schedule_ranked(Time at, EventRank rank, std::function<void()> fn);
 
   /// Pop and run the earliest pending event; returns false if none remain.
   bool run_one();
@@ -48,40 +109,76 @@ class EventQueue {
   /// Time of the earliest pending event, or kTimeForever when empty.
   Time next_time();
 
+  /// Full ordering key of the earliest pending event; at == kTimeForever
+  /// when empty. The PDES group scheduler merges member queues on this.
+  EventKey next_key();
+
   bool empty();
 
   /// Number of events executed so far (for micro-benchmarks and tests).
   std::uint64_t executed() const { return executed_; }
 
+  /// Entries currently held, including not-yet-compacted cancelled ones
+  /// (observability for the compaction regression test).
+  std::size_t heap_size() const { return heap_.size(); }
+
   /// Time of the event currently executing (or last executed).
   Time current_time() const { return current_time_; }
 
-  /// Advance the clock without running events (run_until with an empty
-  /// window). Never moves backwards.
+  /// Advance the clock without running events, as Simulator::run_until
+  /// does when the next event lies beyond its horizon. Never moves
+  /// backwards.
   void advance_to(Time t) {
     if (t > current_time_) current_time_ = t;
+  }
+
+  /// Draw seq tie-breakers from a shared counter instead of this queue's
+  /// own. The PDES engine points every partition queue at one counter so
+  /// that when zero lookahead collapses the partitions into a single
+  /// interleaved scheduling group, same-(time, rank) events still execute
+  /// in global insertion order — exactly the serial queue's FIFO. The
+  /// counter is atomic only because independent groups insert concurrently;
+  /// seqs from different groups are never compared (their events commute),
+  /// so the racy numbering is unobservable.
+  void set_seq_source(std::atomic<std::uint64_t>* source) {
+    seq_source_ = source;
   }
 
  private:
   struct Entry {
     Time at = 0;
-    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-time events
+    EventRank rank;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-(time, rank)
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
   };
+  // Max-heap comparator for "later", so the heap root is the earliest
+  // entry. (at, cls, a, b, seq) is a total order — seq is unique — so the
+  // pop *sequence* is independent of heap layout, which is what makes
+  // compaction (a re-heapify) determinism-safe.
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    bool operator()(const Entry& x, const Entry& y) const {
+      if (x.at != y.at) return x.at > y.at;
+      if (x.rank.cls != y.rank.cls) return x.rank.cls > y.rank.cls;
+      if (x.rank.a != y.rank.a) return x.rank.a > y.rank.a;
+      if (x.rank.b != y.rank.b) return x.rank.b > y.rank.b;
+      return x.seq > y.seq;
     }
   };
 
   void drop_cancelled_head();
+  void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  // std::push_heap/pop_heap managed
   std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t>* seq_source_ = nullptr;
   std::uint64_t executed_ = 0;
   Time current_time_ = 0;
+  // Cancelled-entry compaction (see maybe_compact): scan when the heap has
+  // doubled past the size it had after the last scan, so the amortized
+  // cost per schedule() is O(1) and a cancellation-heavy workload
+  // (defer-TTL churn) cannot retain dead entries unboundedly.
+  std::size_t compact_watermark_ = 0;
 };
 
 }  // namespace cmap::sim

@@ -1,0 +1,178 @@
+// Conservative parallel discrete-event execution inside one run (the
+// ROADMAP "intra-run PDES" item; protocol derivation in docs/pdes.md).
+//
+// The floor is partitioned spatially (phy/partition.h); every partition
+// owns a Simulator whose queue holds that partition's node events, and one
+// extra *global sequencer* Simulator holds the dynamics events (mobility
+// ticks, channel epochs) that mutate shared medium state. Execution
+// proceeds in rounds:
+//
+//   1. S = earliest pending time across all queues. If the global
+//      sequencer is due at S, its events run alone (a barrier: they touch
+//      shared state), then min-delays are refreshed (positions may have
+//      moved).
+//   2. Otherwise every scheduling group g gets a conservative window
+//      W_g = min(next_global, min_h(next_h + sp(h -> g)))
+//      and executes its events with t < W_g, in parallel across groups.
+//      sp is the SHORTEST-PATH closure of the pairwise minimum propagation
+//      delays — not the direct edge. The closure matters: a group with no
+//      pending events imposes no next_h term of its own, but it can still
+//      relay influence (a message posted to it this round wakes a node
+//      whose response arrives elsewhere), and a group's own output can
+//      reflect back at it (g -> h -> g). Multi-hop paths and self-cycles
+//      in the closure bound both: any chain of deliveries rooted at some
+//      pending event in h reaches g no earlier than next_h + sp(h, g),
+//      which is >= W_g by construction. Per-edge lookahead is the minimum
+//      propagation delay alone — a signal's influence at a receiver starts
+//      at its arrival tick (CCA is event-driven), so frame airtime adds
+//      nothing sound; see docs/pdes.md.
+//   3. Cross-group deliveries were posted as timestamped mailbox
+//      messages; a barrier drains them into the target queues. Their
+//      arrival times are provably >= the target's window end, so no
+//      message is ever late (the conservative invariant).
+//
+// Partition pairs with zero lookahead are merged into one scheduling
+// *group*: the group's member queues are interleaved by full event key
+// ((time, rank, seq) — every partition queue draws seq from one
+// engine-owned counter) on one worker, which reproduces the serial queue's
+// pop order exactly. Because phy::propagation_delay_ns floors every
+// distinct-pair delay at 1 ns, zero lookahead arises only when propagation
+// delay is disabled outright — in which case the whole matrix is zero and
+// all partitions form one group for the entire run. With propagation on,
+// every group is a single partition. Either way group structure is static;
+// mobility only rescales the (positive) delays between rounds.
+//
+// Determinism: same-tick ordering is the (rank, seq) total order the
+// serial queue also sorts by, and same-tick events in *different* groups
+// commute (their mutual lookahead is >= 1 ns, so neither's effects can
+// reach the other at the same instant; between barriers they touch
+// disjoint node state and only read shared medium state). Sweep reports
+// are therefore byte-identical to the serial oracle at any partition and
+// thread count — gated by tests/scenario/test_pdes_golden.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace cmap::sim {
+
+/// The RunConfig knob (testbed::RunConfig::pdes). partitions <= 1 selects
+/// the single-queue serial path — the reference oracle.
+struct PdesOptions {
+  int partitions = 1;
+  /// Worker threads for partition windows. 1 executes windows inline on
+  /// the driving thread (deterministic without any thread machinery; what
+  /// golden tests use). Results are identical at any value.
+  int threads = 1;
+
+  bool operator==(const PdesOptions&) const = default;
+};
+
+class PdesEngine {
+ public:
+  /// `global` is the sequencer Simulator shared state mutators (dynamics)
+  /// schedule into; it must outlive the engine.
+  PdesEngine(Simulator& global, int partitions, int threads);
+
+  int partitions() const { return static_cast<int>(parts_.size()); }
+  Simulator& partition_sim(int p) { return *parts_[static_cast<size_t>(p)]; }
+  Simulator& global_sim() { return global_; }
+
+  /// Install the full partition-to-partition minimum-delay matrix
+  /// (row-major, partitions^2 entries, ns; entry [from][to] bounds every
+  /// signal from a node of `from` to a node of `to` from below).
+  /// Scheduling groups are recomputed: pairs with 0 lookahead merge.
+  void set_min_delays(std::vector<Time> matrix);
+
+  /// Called after each global-event barrier so the owner can refresh the
+  /// delay matrix when node positions changed.
+  void set_topology_refresh(std::function<void()> fn) {
+    topology_refresh_ = std::move(fn);
+  }
+
+  /// Optional execution scope: called with the partition index (or -1 for
+  /// the global sequencer) before a contiguous run of its events on the
+  /// executing thread; the returned token is held for that run's duration.
+  /// The World uses this to make the partition's Tracer thread-active so
+  /// log records land in the right per-partition stream.
+  using ScopeFn = std::function<std::shared_ptr<void>(int partition)>;
+  void set_partition_scope(ScopeFn fn) { scope_ = std::move(fn); }
+
+  /// Route one delivery event (the only cross-partition interaction).
+  /// Within the source's scheduling group the event is scheduled directly
+  /// (same worker); across groups it is posted as a timestamped mailbox
+  /// message drained at the next barrier. Rank (frame_id, receiver) makes
+  /// the final ordering independent of the route taken.
+  void schedule_delivery(int src_partition, int dst_partition, Time at,
+                         std::uint64_t frame_id, std::uint64_t receiver,
+                         std::function<void()> fn);
+
+  /// Drive every queue to `until` (events at exactly `until` included,
+  /// matching Simulator::run_until), leaving all clocks at `until`.
+  void run_until(Time until);
+
+  /// Observability for tests and bench_pdes.
+  int group_of(int partition) const {
+    return group_id_[static_cast<size_t>(partition)];
+  }
+  int groups() const { return static_cast<int>(groups_.size()); }
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t messages() const;
+
+ private:
+  struct Group {
+    std::vector<int> members;  // ascending partition indices
+    Time next = 0;             // scratch: earliest pending member event
+  };
+  struct Message {
+    Time at = 0;
+    std::uint64_t frame_id = 0;
+    std::uint64_t receiver = 0;
+    std::function<void()> fn;
+  };
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::vector<Message> msgs;
+    std::uint64_t posted = 0;  // lifetime total, for observability
+  };
+
+  Time min_delay(int from, int to) const {
+    return dmin_[static_cast<size_t>(from) * parts_.size() +
+                 static_cast<size_t>(to)];
+  }
+  void rebuild_groups();
+  void rebuild_closure();
+  void run_group(const Group& g, Time window_end);
+  void drain_mailboxes();
+
+  Simulator& global_;
+  std::vector<std::unique_ptr<Simulator>> parts_;
+  // One seq counter for every partition queue, so a merged group's
+  // interleave ties off exactly like one serial queue (see
+  // EventQueue::set_seq_source for why relaxed atomicity suffices).
+  std::atomic<std::uint64_t> shared_seq_{0};
+  std::vector<Time> dmin_;    // row-major partitions^2, ns
+  std::vector<int> group_id_; // partition -> group index
+  std::vector<Group> groups_;
+  // Shortest-path closure of the GROUP-level delay graph (row-major
+  // groups^2). closure_[h][g] = earliest any causal chain rooted in h can
+  // influence g, over any number of intermediate groups; the diagonal is
+  // the minimum cycle through the group (self-influence via reflection),
+  // kTimeForever when unreachable.
+  std::vector<Time> closure_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::function<void()> topology_refresh_;
+  ScopeFn scope_;
+  WorkerCrew crew_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace cmap::sim

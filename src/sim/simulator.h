@@ -1,6 +1,8 @@
 // The simulation executive: owns the clock and the event queue. Components
 // hold a reference to the Simulator and schedule callbacks; run() drains
-// events in time order until a stop condition.
+// events in time order until a stop condition. Under PDES (pdes.h) each
+// partition owns one Simulator and the engine drives the queues directly;
+// components are none the wiser.
 #pragma once
 
 #include <functional>
@@ -29,6 +31,17 @@ class Simulator {
     return queue_.schedule(now() + delay, std::move(fn));
   }
 
+  /// Ranked variants: explicit same-tick ordering (see EventRank). The
+  /// medium schedules deliveries and the dynamics subsystem its global
+  /// steps through these so the serial queue sorts same-instant events
+  /// exactly as the partitioned engine executes them.
+  EventId at_ranked(Time when, EventRank rank, std::function<void()> fn) {
+    return queue_.schedule_ranked(when, rank, std::move(fn));
+  }
+  EventId in_ranked(Time delay, EventRank rank, std::function<void()> fn) {
+    return queue_.schedule_ranked(now() + delay, rank, std::move(fn));
+  }
+
   /// Run until the queue drains or stop() is called.
   void run();
 
@@ -36,10 +49,16 @@ class Simulator {
   /// are executed), the queue drains, or stop() is called.
   void run_until(Time until);
 
-  /// Request that run()/run_until() return after the current event.
+  /// Request that run()/run_until() return after the current event. Not
+  /// honored by the PDES engine (no caller needs it mid-partitioned-run;
+  /// see docs/pdes.md).
   void stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return queue_.executed(); }
+
+  /// Direct queue access for the PDES engine, which merges and windows
+  /// several queues itself. Components should schedule via at()/in().
+  EventQueue& queue() { return queue_; }
 
  private:
   EventQueue queue_;

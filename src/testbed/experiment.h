@@ -14,7 +14,9 @@
 #include "mac80211/dcf.h"
 #include "net/traffic.h"
 #include "phy/medium.h"
+#include "phy/partition.h"
 #include "phy/radio.h"
+#include "sim/pdes.h"
 #include "sim/simulator.h"
 #include "testbed/testbed.h"
 #include "trace/trace.h"
@@ -71,8 +73,15 @@ struct RunConfig {
   // Event tracing: when set (and the path non-empty), the World opens a
   // Tracer over the configured categories and every subsystem streams into
   // it. Tracing never draws randomness or schedules events, so a traced
-  // run's results are identical to an untraced one's.
+  // run's results are identical to an untraced one's. Under PDES each
+  // partition additionally gets its own stream at `path + ".p<N>"`
+  // (trace::merge_streams reassembles one time-ordered file).
   std::optional<trace::TraceConfig> trace;
+  // Intra-run parallel execution (sim/pdes.h, docs/pdes.md). partitions <=
+  // 1 keeps the single-queue serial path — the reference oracle PDES runs
+  // are golden-tested byte-identical against. Results never depend on
+  // partitions or threads.
+  sim::PdesOptions pdes;
 
   // ---- Fluent builders ----
   // Each returns *this, so configurations read as one expression:
@@ -110,6 +119,9 @@ struct RunConfig {
     trace = std::move(v);
     return *this;
   }
+  RunConfig& with_pdes(sim::PdesOptions v) { pdes = v; return *this; }
+  RunConfig& with_partitions(int v) { pdes.partitions = v; return *this; }
+  RunConfig& with_pdes_threads(int v) { pdes.threads = v; return *this; }
 };
 
 /// A live simulation world. Benches with bespoke needs (mesh phases,
@@ -131,9 +143,16 @@ class World {
   /// Set every sink's measurement window.
   void set_measurement_window(sim::Time begin, sim::Time end);
 
-  void run(sim::Time until) { sim_.run_until(until); }
+  /// Drive the world to `until`: the PDES engine when
+  /// config().pdes.partitions > 1, else the serial simulator.
+  void run(sim::Time until);
 
+  /// The run (global-sequencer) simulator. Under PDES, per-node events
+  /// live on partition simulators instead — drive partial runs through
+  /// run(), not this.
   sim::Simulator& simulator() { return sim_; }
+  /// The engine, when this run is partitioned (else nullptr).
+  sim::PdesEngine* pdes() { return engine_.get(); }
   mac::Mac& mac(phy::NodeId id);
   net::PacketSink& sink(phy::NodeId id);
   core::CmapMac* cmap(phy::NodeId id);          // nullptr for DCF schemes
@@ -155,6 +174,13 @@ class World {
     std::unique_ptr<net::BatchSource> batch;
   };
 
+  /// The simulator `id`'s components schedule on: its partition's under
+  /// PDES, the run simulator otherwise.
+  sim::Simulator& node_simulator(phy::NodeId id);
+  /// Recompute the engine's lookahead matrix from the attached radios'
+  /// current positions (no-op when nothing moved since the last call).
+  void refresh_pdes_delays();
+
   const Testbed& tb_;
   RunConfig config_;
   sim::Simulator sim_;
@@ -162,6 +188,19 @@ class World {
   // Owns the trace stream; bound into medium_ before any node or dynamics
   // instrumentation binds its hook (they cache the tracer pointer).
   std::unique_ptr<trace::Tracer> tracer_;
+  // PDES state (empty/null on the serial path). Declared before medium_
+  // (which routes deliveries through the engine) and nodes_ (whose radios
+  // live on the engine's partition simulators).
+  phy::PartitionPlan plan_;
+  std::unique_ptr<sim::PdesEngine> engine_;
+  std::vector<std::unique_ptr<trace::Tracer>> part_tracers_;
+  // Constructing the partition tracers leaves the last one thread-active;
+  // this restores the run tracer for code running outside a partition
+  // scope (setup, barriers). Declared after part_tracers_ so it unwinds
+  // first.
+  std::optional<trace::ScopedActive> active_restore_;
+  std::uint64_t pdes_epoch_ = 0;
+  bool pdes_delays_valid_ = false;
   // Per-run channel wrapper (nullptr without channel dynamics); must
   // outlive and precede medium_, which holds it as its propagation model.
   std::shared_ptr<dynamics::DynamicShadowing> channel_;

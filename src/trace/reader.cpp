@@ -224,6 +224,8 @@ bool TraceReader::next(Record* out) {
   out->category = static_cast<Category>(cat);
   last_tick_ += static_cast<sim::Time>(delta);
   out->tick = last_tick_;
+  raw_pos_ = pos_;
+  raw_size_ = end - pos_;
   if (!parse_body(out->category, bytes_.data() + pos_, end - pos_, out)) {
     fail(std::string("malformed ") + category_name(out->category) +
          " payload at byte " + std::to_string(record_start));

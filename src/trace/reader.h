@@ -112,6 +112,13 @@ class TraceReader {
   /// decode error — check error() to tell them apart (empty = clean EOF).
   bool next(Record* out);
 
+  /// Payload bytes of the record most recently returned by next(), valid
+  /// until the next call. merge_streams re-emits these verbatim so field
+  /// round-tripping (e.g. the move record's mm quantization) cannot perturb
+  /// a merged stream.
+  const std::uint8_t* raw_body() const { return bytes_.data() + raw_pos_; }
+  std::size_t raw_size() const { return raw_size_; }
+
  private:
   void fail(const std::string& what);
   void parse_header();
@@ -120,6 +127,8 @@ class TraceReader {
 
   std::vector<std::uint8_t> bytes_;
   std::size_t pos_ = 0;
+  std::size_t raw_pos_ = 0;
+  std::size_t raw_size_ = 0;
   sim::Time last_tick_ = 0;
   std::uint32_t categories_ = 0;
   std::vector<std::uint32_t> sample_every_;

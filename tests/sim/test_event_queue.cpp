@@ -110,5 +110,104 @@ TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
   }
 }
 
+// A callable that counts how many times it is copied: dispatch must move
+// the entry out of the heap, not deep-copy the std::function per event.
+struct CopyCounter {
+  int* copies;
+  explicit CopyCounter(int* c) : copies(c) {}
+  CopyCounter(const CopyCounter& o) : copies(o.copies) { ++*copies; }
+  CopyCounter(CopyCounter&&) = default;
+  CopyCounter& operator=(const CopyCounter&) = delete;
+  CopyCounter& operator=(CopyCounter&&) = delete;
+  void operator()() const {}
+};
+
+TEST(EventQueue, DispatchMovesTheCallableInsteadOfCopying) {
+  EventQueue q;
+  int copies = 0;
+  q.schedule(1, CopyCounter(&copies));
+  const int after_schedule = copies;  // wrapping into std::function may copy
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(copies, after_schedule);
+}
+
+TEST(EventQueue, CompactionBoundsCancelledEntries) {
+  // Defer-TTL churn shape: schedule far-future events and cancel them
+  // before they reach the head. Without compaction the heap retains every
+  // cancelled entry; with it, live + dead stays within a constant factor
+  // of the live count.
+  EventQueue q;
+  std::vector<EventId> pending;
+  for (int i = 0; i < 100000; ++i) {
+    pending.push_back(q.schedule(1000000 + i, [] {}));
+    if (pending.size() > 16) {
+      pending.front().cancel();
+      pending.erase(pending.begin());
+    }
+  }
+  // 16 live entries; the watermark doubling rule admits at most
+  // max(2 * live-after-last-scan, 64) total before the next scan fires.
+  EXPECT_LE(q.heap_size(), 64u);
+}
+
+TEST(EventQueue, AdvanceToNeverMovesBackwards) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(q.current_time(), 100);
+  q.advance_to(50);  // stale horizon: clock must hold
+  EXPECT_EQ(q.current_time(), 100);
+  q.advance_to(200);
+  EXPECT_EQ(q.current_time(), 200);
+}
+
+TEST(EventQueueDeathTest, SchedulePastAdvancedClockAborts) {
+  EventQueue q;
+  q.advance_to(500);
+  EXPECT_DEATH(q.schedule(499, [] {}), "past");
+}
+
+TEST(EventQueue, RankClassesOrderSameTickEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  // Insertion order deliberately scrambled: local first, then deliveries
+  // (in descending key), then a global event, all at t=10.
+  q.schedule(10, [&] { order.push_back(4); });  // cls 2 FIFO #1
+  q.schedule_ranked(10, delivery_rank(7, 2), [&] { order.push_back(7); });
+  q.schedule_ranked(10, delivery_rank(7, 1), [&] { order.push_back(6); });
+  q.schedule_ranked(10, delivery_rank(3, 9), [&] { order.push_back(5); });
+  q.schedule_ranked(10, kGlobalRank, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(8); });  // inserted after deliveries,
+                                                // still runs before them
+  q.schedule_ranked(10, kGlobalRank, [&] { order.push_back(2); });
+  q.schedule(10, [&] { order.push_back(9); });
+  while (q.run_one()) {
+  }
+  // global (FIFO) < local (FIFO) < delivery (by frame, then receiver).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 8, 9, 5, 6, 7}));
+}
+
+TEST(EventQueue, SharedSeqSourceInterleavesTwoQueuesLikeOne) {
+  // Two queues drawing from one counter, popped by smallest next_key():
+  // same-(time, rank) events must come out in global insertion order, as
+  // one serial queue would pop them.
+  std::atomic<std::uint64_t> seq{0};
+  EventQueue a, b;
+  a.set_seq_source(&seq);
+  b.set_seq_source(&seq);
+  std::vector<int> order;
+  a.schedule(5, [&] { order.push_back(1); });
+  b.schedule(5, [&] { order.push_back(2); });
+  a.schedule(5, [&] { order.push_back(3); });
+  b.schedule(5, [&] { order.push_back(4); });
+  while (!a.empty() || !b.empty()) {
+    EventQueue& next = b.next_key() < a.next_key() ? b : a;
+    next.run_one();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 }  // namespace
 }  // namespace cmap::sim
