@@ -1,0 +1,147 @@
+// Metrics-overhead bench: the cost of the metrics subsystem on the
+// dense-grid CMAP workload, in three modes —
+//   unmetered: no Registry attached (RunConfig::metrics unset, the
+//       default) — the hook masks are zero without even a registry;
+//   disabled:  a Registry attached with an empty domain mask — every
+//       instrumentation site reduces to one branch on a cached mask, the
+//       configuration the "zero-overhead-when-off" claim rests on;
+//   enabled:   all domains counting, per-run snapshot JSONs written.
+// The three modes run interleaved for several reps on an identical seeded
+// sweep; min-of-reps CPU time per mode discards scheduler deschedules.
+//
+// Doubles as a CI regression probe: the timing row rides in CMAP_BENCH_JSON
+// and tools/check_bench_regression.py enforces metrics_overhead_off (the
+// disabled/unmetered CPU-time ratio, measured within this one process, so
+// machine-independent) as a fixed maximum of 1.02 — instrumenting a hot
+// path with anything costlier than the mask branch is the regression this
+// bench exists to catch. The enabled-mode overhead is reported as a
+// diagnostic, not gated: relaxed-atomic increments cost what they cost,
+// and counting is opt-in.
+//
+// Extra knob: CMAP_BENCH_NODES (default 120) sizes the testbed.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "bench_main.h"
+#include "metrics/metrics.h"
+
+using namespace cmap;
+using namespace cmap::bench;
+
+namespace {
+
+enum class Mode { kUnmetered, kDisabled, kEnabled };
+
+double run_once(const Scale& s, const testbed::Testbed& tb, Mode mode,
+                const std::string& metrics_dir) {
+  auto sweep = make_sweep(s, "dense_grid_25", {testbed::Scheme::kCmap});
+  if (mode != Mode::kUnmetered) {
+    metrics::MetricsConfig mc;
+    mc.path = mode == Mode::kEnabled ? metrics_dir : "";
+    mc.domains = mode == Mode::kDisabled ? 0u : metrics::kAllDomains;
+    sweep.metrics = mc;
+  }
+  const double t0 = cpu_ms_now();
+  auto report = make_runner(s).run(sweep, tb);
+  const double elapsed = cpu_ms_now() - t0;
+  // Consume the report so the sweep cannot be elided.
+  volatile double guard = report.rows().empty()
+                              ? 0.0
+                              : report.rows().front().aggregate_mbps;
+  (void)guard;
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  Scale s = load_scale();
+  if (std::getenv("CMAP_BENCH_SECONDS") == nullptr && !s.full) {
+    s.duration = sim::seconds(2);  // three modes x reps: keep each run short
+    s.warmup = sim::seconds(1);
+  }
+  if (std::getenv("CMAP_BENCH_CONFIGS") == nullptr && !s.full) {
+    s.configs = 2;
+  }
+  const int nodes = static_cast<int>(env_long("CMAP_BENCH_NODES", 120));
+  constexpr int kReps = 3;
+  print_header("Metrics subsystem: counting overhead on the dense grid",
+               "no paper claim — zero-overhead-when-off guarantee of the "
+               "metrics subsystem",
+               s);
+  std::printf("nodes: %d (CMAP_BENCH_NODES), reps: %d (interleaved, min)\n",
+              nodes, kReps);
+
+  testbed::TestbedConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = s.seed;
+  const testbed::Testbed tb(cfg);
+
+  const std::string metrics_dir =
+      (std::filesystem::temp_directory_path() / "cmap_metrics_bench").string();
+  std::filesystem::create_directories(metrics_dir);
+
+  // Interleave the modes so slow drift (thermal, a noisy neighbor arriving
+  // mid-bench) hits all three alike instead of biasing whichever ran last.
+  double unmetered_ms = 1e300, disabled_ms = 1e300, enabled_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    unmetered_ms =
+        std::min(unmetered_ms, run_once(s, tb, Mode::kUnmetered, metrics_dir));
+    disabled_ms =
+        std::min(disabled_ms, run_once(s, tb, Mode::kDisabled, metrics_dir));
+    enabled_ms =
+        std::min(enabled_ms, run_once(s, tb, Mode::kEnabled, metrics_dir));
+  }
+
+  // Bytes written by one enabled-mode sweep (the files the last rep left).
+  std::uint64_t snapshot_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(metrics_dir)) {
+    if (entry.path().extension() == ".json") {
+      snapshot_bytes += entry.file_size();
+    }
+  }
+
+  // Floor the denominator at one clock quantum so a sub-resolution run
+  // reads as very fast, not as a division by zero.
+  const double floor_ms = 1000.0 / CLOCKS_PER_SEC;
+  const double overhead_off =
+      disabled_ms / std::max(unmetered_ms, floor_ms);
+  const double overhead_on = enabled_ms / std::max(unmetered_ms, floor_ms);
+
+  std::printf("unmetered:             %8.1f CPU-ms (min of %d)\n",
+              unmetered_ms, kReps);
+  std::printf("registry attached, off:%8.1f CPU-ms  -> x%.3f\n", disabled_ms,
+              overhead_off);
+  std::printf("all domains counted:   %8.1f CPU-ms  -> x%.3f, %llu bytes\n",
+              enabled_ms, overhead_on,
+              static_cast<unsigned long long>(snapshot_bytes));
+
+  stats::SweepReport report;
+  stats::RunRow timing;
+  timing.scenario = "metrics_bench";
+  timing.scheme = "timing";
+  timing.topology = "cpu-time";
+  // Knob values ride along so the regression gate can reject a comparison
+  // whose workload drifted from the baseline's; metrics_overhead_off is
+  // gated as a fixed maximum, everything else is informational (the raw
+  // timings only exist as the ratio's terms, and enabled-mode cost scales
+  // with the enabled-domain mask).
+  timing.metrics = {{"nodes", static_cast<double>(nodes)},
+                    {"configs", static_cast<double>(s.configs)},
+                    {"run_seconds", sim::to_seconds(s.duration)},
+                    {"threads", static_cast<double>(make_runner(s).threads())},
+                    {"metrics_unmetered_cpu_ms", unmetered_ms},
+                    {"metrics_disabled_cpu_ms", disabled_ms},
+                    {"metrics_enabled_cpu_ms", enabled_ms},
+                    {"metrics_overhead_off", overhead_off},
+                    {"metrics_overhead_on", overhead_on},
+                    {"metrics_snapshot_bytes",
+                     static_cast<double>(snapshot_bytes)},
+                    {"calibration_ms", calibration_ms()}};
+  report.add_row(std::move(timing));
+
+  maybe_write_json(report);
+  std::filesystem::remove_all(metrics_dir);
+  return 0;
+}

@@ -19,18 +19,25 @@
 //      variable is the copy. Informational; it documents that dispatch got
 //      cheaper, machine-independently (both sides timed in-process).
 //
+// The 4-partition run also reports stall attribution from the metrics
+// subsystem: per-partition executed events, mailbox traffic, busy time and
+// barrier wait (src/metrics/metrics.h) — INFO rows, since they measure the
+// machine, not the simulation.
+//
 // Knobs: CMAP_BENCH_SCENARIO (default flows_50), CMAP_BENCH_SECONDS /
 // CMAP_BENCH_SEED as usual, CMAP_BENCH_EVENTS (default 300000) for the
 // dispatch micro-row. Runtimes stay deliberately under the regression
 // gate's 1000 ms floor so the _ms rows ride as info, not as flaky gates.
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench_main.h"
@@ -51,10 +58,13 @@ double wall_ms_now() {
       .count();
 }
 
-// One sweep over the scenario, serial (partitions <= 1) or partitioned.
-// Returns the report JSON; *wall_ms gets the sweep's wall-clock time.
-std::string run_sweep(const scenario::Scenario& s, const Scale& scale,
-                      int partitions, int threads, double* wall_ms) {
+// One sweep over the scenario, serial (partitions <= 1) or partitioned,
+// with metrics collected in memory (the per-partition stall-attribution
+// rows come from the run's MetricsSnapshot). *wall_ms gets the sweep's
+// wall-clock time. Note the byte-identity probe compares to_json(), which
+// deliberately excludes the profile — metrics stay out of the gate.
+stats::SweepReport run_sweep(const scenario::Scenario& s, const Scale& scale,
+                             int partitions, int threads, double* wall_ms) {
   scenario::Sweep sweep;
   sweep.scenario = s.name;
   sweep.schemes = {testbed::Scheme::kCmap};
@@ -62,6 +72,7 @@ std::string run_sweep(const scenario::Scenario& s, const Scale& scale,
   sweep.base_seed = scale.seed;
   sweep.duration = scale.duration;
   sweep.warmup = scale.warmup;
+  sweep.metrics = metrics::MetricsConfig{};  // empty path: in-memory only
   if (partitions > 1) {
     sweep.variants = {scenario::ConfigVariant{
         "", [partitions, threads](testbed::RunConfig& rc) {
@@ -73,9 +84,9 @@ std::string run_sweep(const scenario::Scenario& s, const Scale& scale,
       s.testbed ? *s.testbed : testbed::TestbedConfig{};
   const auto tb = testbed::TestbedCache::global().get(cfg);
   const double t0 = wall_ms_now();
-  const std::string json = scenario::SweepRunner(1).run(sweep, *tb).to_json();
+  stats::SweepReport report = scenario::SweepRunner(1).run(sweep, *tb);
   *wall_ms = wall_ms_now() - t0;
-  return json;
+  return report;
 }
 
 // ---- Dispatch micro-row ----
@@ -158,9 +169,13 @@ int main() {
   std::printf("scenario: %s (CMAP_BENCH_SCENARIO)\n", scenario_name.c_str());
 
   double serial_ms = 0.0, p2_ms = 0.0, p4_ms = 0.0;
-  const std::string serial = run_sweep(scen, s, 1, 1, &serial_ms);
-  const std::string p2 = run_sweep(scen, s, 2, 2, &p2_ms);
-  const std::string p4 = run_sweep(scen, s, 4, 2, &p4_ms);
+  const stats::SweepReport serial_report =
+      run_sweep(scen, s, 1, 1, &serial_ms);
+  const stats::SweepReport p2_report = run_sweep(scen, s, 2, 2, &p2_ms);
+  const stats::SweepReport p4_report = run_sweep(scen, s, 4, 2, &p4_ms);
+  const std::string serial = serial_report.to_json();
+  const std::string p2 = p2_report.to_json();
+  const std::string p4 = p4_report.to_json();
   const bool match = serial == p2 && serial == p4;
   const double speedup = serial_ms / std::max(p4_ms, 1e-3);
 
@@ -170,6 +185,34 @@ int main() {
   std::printf("speedup (4p):          %8.2fx (wall; info-only on 1 core)\n",
               speedup);
   std::printf("reports identical:     %s\n", match ? "yes" : "NO — BUG");
+
+  // Stall attribution for the 4-partition run: who executed what, and who
+  // spent the parallel phase waiting. busy/barrier-wait need wall-clock and
+  // so ride as INFO only (new keys inside the existing pdes_bench row are
+  // ignored by the regression gate's baseline-driven iteration).
+  std::vector<std::pair<std::string, double>> partition_info;
+  if (!p4_report.rows().empty() && p4_report.rows().front().profile) {
+    const metrics::MetricsSnapshot& snap = *p4_report.rows().front().profile;
+    std::printf("4p stall attribution:  %" PRIu64 " rounds, %" PRIu64
+                " global barriers, %" PRIu64 " merged windows\n",
+                snap.rounds, snap.global_barriers, snap.merged_windows);
+    for (const metrics::PartitionExec& pe : snap.parts) {
+      const double util =
+          snap.parallel_wall_ms > 0.0 ? pe.busy_ms / snap.parallel_wall_ms
+                                      : 0.0;
+      std::printf("  partition %d: %10" PRIu64 " events, %8" PRIu64
+                  " mailbox msgs, busy %8.1f ms, barrier-wait %8.1f ms "
+                  "(%.0f%% util)\n",
+                  pe.partition, pe.executed, pe.mailbox_posted, pe.busy_ms,
+                  pe.barrier_wait_ms, util * 100.0);
+      const std::string prefix = "pdes_p" + std::to_string(pe.partition);
+      partition_info.emplace_back(prefix + "_executed",
+                                  static_cast<double>(pe.executed));
+      partition_info.emplace_back(prefix + "_busy_ms", pe.busy_ms);
+      partition_info.emplace_back(prefix + "_barrier_wait_ms",
+                                  pe.barrier_wait_ms);
+    }
+  }
 
   std::uint64_t sink = 0;
   time_dispatch(events, false, &sink);  // warm the allocator once
@@ -199,6 +242,7 @@ int main() {
                     {"dispatch_move_cpu_ms", move_ms},
                     {"dispatch_speedup", dispatch_speedup},
                     {"calibration_ms", calibration_ms()}};
+  for (auto& kv : partition_info) timing.metrics.push_back(std::move(kv));
   report.add_row(std::move(timing));
 
   maybe_write_json(report);

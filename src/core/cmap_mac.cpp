@@ -118,6 +118,9 @@ CmapMac::CmapMac(sim::Simulator& simulator, phy::Radio& radio,
   trace_.bind(radio_.medium().tracer_for(radio_.id()), radio_.id());
   defer_table_.set_tracer(trace_.tracer, radio_.id());
   ongoing_.set_tracer(trace_.tracer, radio_.id());
+  metrics_.bind(radio_.medium().metrics(), metrics::Domain::kMac);
+  defer_table_.set_metrics(radio_.medium().metrics());
+  ongoing_.set_metrics(radio_.medium().metrics());
   radio_.set_listener(this);
   schedule_ilist();
 }
@@ -216,6 +219,18 @@ bool CmapMac::check_defer(phy::NodeId dst, sim::Time* recheck_at) {
                                      ? d.decide(dst, my_rate, now)
                                      : d.decide_reference(dst, my_rate, now);
   if (decision.defer) *recheck_at = decision.until + config_.t_deferwait;
+  if (metrics_.on()) {
+    metrics_.inc(metrics::Counter::kMacSendDecisions);
+    if (decision.defer) {
+      // Off the hot path (metrics enabled, and only deferrals): re-derive
+      // which rule blocked, same re-walk the kMacDefer trace path does.
+      DeferDebug dbg;
+      d.decide_explain(dst, my_rate, now, &dbg);
+      metrics_.inc(dbg.reason == trace::DeferReason::kDstBusy
+                       ? metrics::Counter::kMacDeferDstBusy
+                       : metrics::Counter::kMacDeferConflictMap);
+    }
+  }
   if (trace_.wants(trace::Category::kMacDefer)) {
     // Off the hot path: re-derive the blocking transmission and rule only
     // when this category is enabled (and only deferrals need the re-walk).

@@ -28,6 +28,7 @@
 #include "core/wire.h"
 #include "mac/dup_filter.h"
 #include "mac/mac.h"
+#include "metrics/metrics.h"
 #include "phy/radio.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -222,6 +223,7 @@ class CmapMac final : public mac::Mac, public phy::RadioListener {
   CmapConfig config_;
   sim::Rng rng_;
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;
 
   RxHandler rx_handler_;
   DrainHandler drain_handler_;

@@ -43,6 +43,7 @@ void DeferTable::link(std::uint32_t idx) const {
 
 void DeferTable::unlink(std::uint32_t idx, sim::Time now) const {
   Slot& s = slots_[idx];
+  metrics_.inc(metrics::Counter::kMacDeferTtlExpiries);
   if (trace_.wants(trace::Category::kDeferTable)) {
     trace_.tracer->defer_table(
         now, trace_.self, trace::DeferTableOp::kExpire, s.e.dst, s.e.src,
@@ -77,6 +78,7 @@ void DeferTable::upsert(DeferEntry e, sim::Time now) {
         existing.via == e.via && existing.my_rate == e.my_rate &&
         existing.their_rate == e.their_rate) {
       existing.expires = e.expires;
+      metrics_.inc(metrics::Counter::kMacDeferRefreshes);
       if (traced) {
         trace_.tracer->defer_table(
             now, trace_.self, trace::DeferTableOp::kRefresh, e.dst, e.src,
@@ -98,6 +100,10 @@ void DeferTable::upsert(DeferEntry e, sim::Time now) {
   slots_[idx].live = true;
   ++live_count_;
   link(idx);
+  if (metrics_.on()) {
+    metrics_.inc(metrics::Counter::kMacDeferInserts);
+    metrics_.raise(metrics::Counter::kMacDeferOccupancyHw, live_count_);
+  }
   if (traced) {
     trace_.tracer->defer_table(
         now, trace_.self, trace::DeferTableOp::kInsert, e.dst, e.src, e.via,
@@ -141,6 +147,7 @@ void DeferTable::apply_interferer_list(
 bool DeferTable::probe(Index& index, std::uint64_t key, sim::Time now,
                        phy::WifiRate my_rate,
                        phy::WifiRate their_rate) const {
+  metrics_.inc(metrics::Counter::kMacDeferProbes);
   const auto it = index.find(key);
   if (it == index.end()) return false;
   Bucket& bucket = it->second;

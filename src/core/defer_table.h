@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/wire.h"
+#include "metrics/metrics.h"
 #include "phy/types.h"
 #include "sim/time.h"
 #include "trace/trace.h"
@@ -54,6 +55,13 @@ class DeferTable {
   /// not otherwise know it. Trace emission never changes table behaviour.
   void set_tracer(trace::Tracer* tracer, phy::NodeId self) {
     trace_.bind(tracer, self);
+  }
+
+  /// Count probes, inserts/refreshes, TTL reclamations and the occupancy
+  /// high-water mark into `registry` (kMac domain). Like tracing, metrics
+  /// never change table behaviour.
+  void set_metrics(metrics::Registry* registry) {
+    metrics_.bind(registry, metrics::Domain::kMac);
   }
 
   /// Apply both update rules for an interferer list received from
@@ -122,6 +130,7 @@ class DeferTable {
   sim::Time ttl_;
   bool annotate_rates_;
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;
   // Mutable: should_defer is logically const but reclaims expired entries
   // it touches. The table is owned by one CmapMac on one simulation
   // thread, so this is not a concurrency hazard.

@@ -38,6 +38,7 @@ void OngoingList::note(const VpDescriptor& d, sim::Time end_time,
   }
   tail_ = idx;
   ++live_count_;
+  metrics_.raise(metrics::Counter::kMacOngoingActiveHw, live_count_);
   if (trace_.wants(trace::Category::kOngoing)) {
     trace_.tracer->ongoing(now, trace_.self, trace::OngoingOp::kNote, d.src,
                            d.dst, end_time);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/wire.h"
+#include "metrics/metrics.h"
 #include "phy/types.h"
 #include "sim/assert.h"
 #include "sim/time.h"
@@ -35,6 +36,11 @@ class OngoingList {
   /// kOngoing records. `self` is the owning node's id.
   void set_tracer(trace::Tracer* tracer, phy::NodeId self) {
     trace_.bind(tracer, self);
+  }
+
+  /// Track the active-entry high-water mark into `registry` (kMac domain).
+  void set_metrics(metrics::Registry* registry) {
+    metrics_.bind(registry, metrics::Domain::kMac);
   }
 
   /// Record an overheard/salvaged header or trailer announcing that the
@@ -120,6 +126,7 @@ class OngoingList {
   void release(std::uint32_t idx, sim::Time now) const;
 
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;
   // Mutable: reads are logically const but reclaim expired entries they
   // walk over. One CmapMac owns the list on one simulation thread.
   mutable std::vector<Node> slots_;

@@ -14,6 +14,7 @@ Dynamics::Dynamics(sim::Simulator& simulator, phy::Medium& medium,
   CMAP_ASSERT(config_.channel.has_value() == (channel_ != nullptr),
               "channel config and DynamicShadowing model must come together");
   trace_.bind(medium_.tracer());
+  metrics_.bind(medium_.metrics(), metrics::Domain::kDynamics);
   if (config_.mobility) {
     mobility_ = std::make_unique<MobilityModel>(
         sim_, medium_, *config_.mobility,
@@ -35,6 +36,7 @@ void Dynamics::start() {
 void Dynamics::channel_step() {
   channel_->advance_epoch();
   ++epoch_;
+  metrics_.inc(metrics::Counter::kDynChannelEpochs);
   if (trace_.wants(trace::Category::kChannelEpoch)) {
     trace_.tracer->channel_epoch(sim_.now(), epoch_);
   }

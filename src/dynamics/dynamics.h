@@ -12,6 +12,7 @@
 
 #include "dynamics/channel.h"
 #include "dynamics/mobility.h"
+#include "metrics/metrics.h"
 #include "phy/medium.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -50,6 +51,7 @@ class Dynamics {
   DynamicsConfig config_;
   std::unique_ptr<MobilityModel> mobility_;
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;
   std::uint64_t epoch_ = 0;
 };
 

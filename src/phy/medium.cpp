@@ -53,6 +53,9 @@ double Medium::cull_floor_dbm() const {
 }
 
 Medium::Link Medium::compute_link(const Radio& src, const Radio& dst) const {
+  // Every propagation-model query is a cache miss by definition: the three
+  // link-state modes differ exactly in how rarely they land here.
+  metrics_.inc(metrics::Counter::kPhyGainCacheMisses);
   Link link;
   link.gain_dbm =
       propagation_->rx_power_dbm(src.config().tx_power_dbm, src.id(), dst.id(),
@@ -251,6 +254,7 @@ void Medium::sparse_refresh() {
             dyn_delta_db_ *
             static_cast<double>(channel_epoch_ - entry.checked_epoch);
         if (floor - entry.gain_dbm <= budget) {
+          metrics_.inc(metrics::Counter::kPhyWatchRechecks);
           classify(entry.dst);
         } else {
           new_watch.push_back(entry);
@@ -274,6 +278,7 @@ void Medium::rebuild_reachable(std::uint32_t src_idx) {
 
 void Medium::refresh_all() {
   if (mode_ == LinkStateMode::kDenseReference) return;
+  metrics_dyn_.inc(metrics::Counter::kDynFullRefreshes);
   if (mode_ == LinkStateMode::kSparse) {
     sparse_refresh();
     return;
@@ -289,10 +294,12 @@ void Medium::refresh_all() {
 
 void Medium::on_position_changed(Radio& radio) {
   ++position_epoch_;
+  metrics_dyn_.inc(metrics::Counter::kDynMoves);
   if (mode_ == LinkStateMode::kDenseReference) return;
   const std::uint32_t idx = index_of(radio.id());
   CMAP_ASSERT(idx != kNoIndex, "position change for unattached radio");
   if (mode_ == LinkStateMode::kSparse) {
+    metrics_dyn_.inc(metrics::Counter::kDynIncrementalInvalidations);
     sparse_move(radio, idx);
     return;
   }
@@ -300,6 +307,7 @@ void Medium::on_position_changed(Radio& radio) {
     refresh_all();
     return;
   }
+  metrics_dyn_.inc(metrics::Counter::kDynIncrementalInvalidations);
   const double floor = cull_floor_dbm();
   for (std::uint32_t i = 0; i < radios_.size(); ++i) {
     if (i == idx) continue;
@@ -374,7 +382,11 @@ void Medium::deliver_one(Radio& target, const Link& link,
         rng_.substream(frame->id, target.id()).normal(0.0,
                                                       config_.fading_sigma_db);
   }
-  if (power_dbm < config_.delivery_floor_dbm) return;
+  if (power_dbm < config_.delivery_floor_dbm) {
+    metrics_.inc(metrics::Counter::kPhyFloorDrops);
+    return;
+  }
+  metrics_.inc(metrics::Counter::kPhyDeliveries);
 
   Signal sig;
   sig.frame = frame;
@@ -410,6 +422,18 @@ void Medium::transmit(Radio& source, std::shared_ptr<const Frame> frame) {
                         static_cast<std::uint32_t>(frame->rate),
                         static_cast<std::uint32_t>(frame->size_bytes()),
                         frame->duration);
+  }
+  if (metrics_.on()) {
+    metrics_.inc(metrics::Counter::kPhyTransmits);
+    if (mode_ != LinkStateMode::kDenseReference) {
+      // Cached modes serve the whole fan-out from stored rows; everyone
+      // outside the row was culled. The reference mode's per-receiver
+      // recomputes land in kPhyGainCacheMisses via compute_link.
+      const std::size_t candidates = fanout_candidates(source.id());
+      metrics_.add(metrics::Counter::kPhyGainCacheHits, candidates);
+      metrics_.add(metrics::Counter::kPhyCulledReceivers,
+                   radios_.size() - 1 - candidates);
+    }
   }
   if (mode_ == LinkStateMode::kSparse) {
     const std::uint32_t si = index_of(source.id());

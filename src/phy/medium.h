@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "phy/frame.h"
 #include "phy/partition.h"
 #include "phy/propagation.h"
@@ -148,6 +149,17 @@ class Medium {
   void set_tracer(trace::Tracer* tracer) { trace_.bind(tracer); }
   trace::Tracer* tracer() const { return trace_.tracer; }
 
+  /// Attach (or detach, with nullptr) the run's metrics Registry. Same
+  /// anchor role as set_tracer: call before radios attach — every
+  /// instrumented component binds its own cached MetricsHook from here.
+  /// Unlike tracers the registry is not per-partition: its slots are
+  /// commutative relaxed atomics, safe to share across PDES workers.
+  void set_metrics(metrics::Registry* registry) {
+    metrics_.bind(registry, metrics::Domain::kPhy);
+    metrics_dyn_.bind(registry, metrics::Domain::kDynamics);
+  }
+  metrics::Registry* metrics() const { return metrics_.registry; }
+
   /// Route deliveries through a PDES engine (testbed::World installs this
   /// before any radio attaches; both pointers must outlive the medium or
   /// be cleared). `plan` maps NodeId -> partition. nullptr restores the
@@ -231,6 +243,8 @@ class Medium {
   MediumConfig config_;
   LinkStateMode mode_;
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;      // Domain::kPhy counters
+  metrics::MetricsHook metrics_dyn_;  // move/invalidation counters
   sim::Rng rng_;  // seed material for per-(frame, receiver) fading draws
   std::vector<Radio*> radios_;
   std::vector<std::uint32_t> index_by_id_;       // NodeId -> attach index

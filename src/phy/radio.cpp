@@ -32,6 +32,7 @@ Radio::Radio(sim::Simulator& simulator, Medium& medium, NodeId id,
       preamble_min_sinr_(db_to_linear(config.preamble_min_sinr_db)) {
   medium_.attach(this);
   trace_.bind(medium_.tracer_for(id_), id_);
+  metrics_.bind(medium_.metrics(), metrics::Domain::kPhy);
 }
 
 const Signal* Radio::find_signal(std::uint64_t frame_id) const {
@@ -50,6 +51,7 @@ void Radio::transmit(Frame frame) {
   CMAP_ASSERT(state_ != State::kTx, "transmit while already transmitting");
   if (state_ == State::kRx) {
     ++counters_.aborted_by_tx;
+    metrics_.inc(metrics::Counter::kPhyCollisionLocalTx);
     if (trace_.wants(trace::Category::kPhyCollision)) {
       trace_.tracer->phy_collision(sim_.now(), id_, lock_frame_id_,
                                    trace::CollisionReason::kLocalTx);
@@ -117,6 +119,7 @@ void Radio::evaluate_preamble(std::uint64_t frame_id) {
       tracker_.min_sinr(frame_id, sig->start, sig->start + kPlcpDuration);
   if (sinr < preamble_min_sinr_) {
     ++counters_.preamble_failures;
+    metrics_.inc(metrics::Counter::kPhyCollisionPreambleSinr);
     if (trace_.wants(trace::Category::kPhyCollision)) {
       trace_.tracer->phy_collision(sim_.now(), id_, frame_id,
                                    trace::CollisionReason::kPreambleSinr);
@@ -126,6 +129,7 @@ void Radio::evaluate_preamble(std::uint64_t frame_id) {
 
   if (state_ == State::kRx) {
     ++counters_.aborted_by_capture;
+    metrics_.inc(metrics::Counter::kPhyCollisionCaptured);
     if (trace_.wants(trace::Category::kPhyCollision)) {
       trace_.tracer->phy_collision(sim_.now(), id_, lock_frame_id_,
                                    trace::CollisionReason::kCaptured);
@@ -225,8 +229,10 @@ void Radio::finish_rx() {
 
   if (result.all_ok()) {
     ++counters_.rx_ok;
+    metrics_.inc(metrics::Counter::kPhyRxOk);
   } else {
     ++counters_.rx_corrupt;
+    metrics_.inc(metrics::Counter::kPhyRxCorrupt);
   }
   if (trace_.wants(trace::Category::kPhyRx)) {
     // Centi-dB, clamped: worst_db is a +-1e9 sentinel when every segment

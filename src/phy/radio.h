@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "phy/error_model.h"
 #include "phy/frame.h"
 #include "phy/interference.h"
@@ -178,6 +179,7 @@ class Radio {
   std::uint64_t tx_seq_ = 0;  // per-radio counter behind make_frame_id
 
   trace::TraceHook trace_;
+  metrics::MetricsHook metrics_;
   bool last_cca_busy_ = false;
   double sinr_scale_;  // linear implementation loss
   double cs_signal_mw_;

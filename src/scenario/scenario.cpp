@@ -10,6 +10,7 @@ RunOutcome run_saturated_flows(const RunContext& ctx) {
   RunOutcome out;
   out.aggregate_mbps = result.aggregate_mbps;
   out.flows = result.flows;
+  out.profile = result.profile;
   return out;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -40,11 +41,15 @@ struct RunContext {
 
 /// What one run produced. `metrics` carries scenario-specific scalars in a
 /// stable order; `valid == false` drops the row from the report (e.g. a
-/// control run below the measurement floor).
+/// control run below the measurement floor). `profile` is the run's
+/// metrics snapshot when RunConfig::metrics was set (run_saturated_flows
+/// forwards it; bespoke executors may fill it from
+/// World::metrics_snapshot()).
 struct RunOutcome {
   double aggregate_mbps = 0.0;
   std::vector<testbed::FlowResult> flows;
   std::vector<std::pair<std::string, double>> metrics;
+  std::shared_ptr<const metrics::MetricsSnapshot> profile;
   bool valid = true;
 };
 

@@ -23,8 +23,10 @@ std::uint64_t hash_name(const std::string& name) {
   return h;
 }
 
-std::string trace_run_path(const std::string& dir, const std::string& scenario,
-                           const RunSpec& spec) {
+namespace {
+
+std::string run_path(const std::string& dir, const std::string& scenario,
+                     const RunSpec& spec, const char* extension) {
   std::string path = dir;
   if (!path.empty() && path.back() != '/') path += '/';
   path += scenario;
@@ -32,8 +34,21 @@ std::string trace_run_path(const std::string& dir, const std::string& scenario,
   path += "_v" + std::to_string(spec.variant_index);
   path += "_t" + std::to_string(spec.topology_index);
   path += "_r" + std::to_string(spec.replicate);
-  path += ".cmtrace";
+  path += extension;
   return path;
+}
+
+}  // namespace
+
+std::string trace_run_path(const std::string& dir, const std::string& scenario,
+                           const RunSpec& spec) {
+  return run_path(dir, scenario, spec, ".cmtrace");
+}
+
+std::string metrics_run_path(const std::string& dir,
+                             const std::string& scenario,
+                             const RunSpec& spec) {
+  return run_path(dir, scenario, spec, ".metrics.json");
 }
 
 SweepRunner::SweepRunner(int threads)
@@ -117,6 +132,13 @@ stats::SweepReport SweepRunner::run(const Sweep& sweep,
       tc.path = trace_run_path(sweep.trace->path, scenario.name, spec);
       config.trace = tc;
     }
+    if (sweep.metrics) {
+      metrics::MetricsConfig mc = *sweep.metrics;
+      if (!mc.path.empty()) {
+        mc.path = metrics_run_path(sweep.metrics->path, scenario.name, spec);
+      }
+      config.metrics = mc;
+    }
 
     const TopologyInstance& topo =
         topologies[static_cast<std::size_t>(spec.topology_index)];
@@ -135,6 +157,7 @@ stats::SweepReport SweepRunner::run(const Sweep& sweep,
     row.seed = spec.seed;
     row.aggregate_mbps = outcome.aggregate_mbps;
     row.metrics = outcome.metrics;
+    row.profile = outcome.profile;
     row.flows.reserve(outcome.flows.size());
     for (const auto& f : outcome.flows) {
       stats::FlowRow fr;

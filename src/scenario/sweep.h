@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "stats/report.h"
@@ -46,6 +47,13 @@ struct Sweep {
   /// Categories / sampling apply to every run. Tracing never perturbs
   /// results — the report is identical with or without it.
   std::optional<trace::TraceConfig> trace;
+  /// When set, every run accumulates metrics and its snapshot rides in the
+  /// report row (stats::RunRow::profile). `metrics->path`, when non-empty,
+  /// names a DIRECTORY; each run writes its snapshot JSON to
+  /// `metrics_run_path(path, scenario, spec)`. Metrics never perturb
+  /// results, and the counter sections are byte-identical across
+  /// SweepRunner thread counts and PDES partition counts.
+  std::optional<metrics::MetricsConfig> metrics;
 };
 
 /// One expanded cell of a sweep's cartesian product.
@@ -70,6 +78,11 @@ std::uint64_t hash_name(const std::string& name);
 /// `<dir>/<scenario>_s<scheme>_v<variant>_t<topology>_r<replicate>.cmtrace`.
 std::string trace_run_path(const std::string& dir, const std::string& scenario,
                            const RunSpec& spec);
+
+/// Deterministic per-run metrics filename for a sweep cell:
+/// `<dir>/<scenario>_s<scheme>_v<variant>_t<topology>_r<replicate>.metrics.json`.
+std::string metrics_run_path(const std::string& dir,
+                             const std::string& scenario, const RunSpec& spec);
 
 class SweepRunner {
  public:

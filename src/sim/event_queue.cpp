@@ -27,6 +27,7 @@ EventId EventQueue::schedule_ranked(Time at, EventRank rank,
   EventId id(e.cancelled);
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > depth_high_water_) depth_high_water_ = heap_.size();
   return id;
 }
 
@@ -43,6 +44,7 @@ void EventQueue::maybe_compact() {
   if (dead * 2 >= heap_.size()) {
     std::erase_if(heap_, [](const Entry& e) { return *e.cancelled; });
     std::make_heap(heap_.begin(), heap_.end(), Later{});
+    ++compactions_;
   }
   compact_watermark_ = heap_.size();
 }

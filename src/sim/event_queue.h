@@ -118,6 +118,13 @@ class EventQueue {
   /// Number of events executed so far (for micro-benchmarks and tests).
   std::uint64_t executed() const { return executed_; }
 
+  /// Largest heap size observed (live + not-yet-compacted cancelled
+  /// entries), for the metrics execution section.
+  std::size_t depth_high_water() const { return depth_high_water_; }
+
+  /// Number of cancelled-entry compaction rebuilds performed.
+  std::uint64_t compactions() const { return compactions_; }
+
   /// Entries currently held, including not-yet-compacted cancelled ones
   /// (observability for the compaction regression test).
   std::size_t heap_size() const { return heap_.size(); }
@@ -173,6 +180,8 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::atomic<std::uint64_t>* seq_source_ = nullptr;
   std::uint64_t executed_ = 0;
+  std::size_t depth_high_water_ = 0;
+  std::uint64_t compactions_ = 0;
   Time current_time_ = 0;
   // Cancelled-entry compaction (see maybe_compact): scan when the heap has
   // doubled past the size it had after the last scan, so the amortized

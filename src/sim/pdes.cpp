@@ -1,11 +1,31 @@
 #include "sim/pdes.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <utility>
 
 #include "sim/assert.h"
 
 namespace cmap::sim {
+namespace {
+
+/// Monotonic nanoseconds for stall attribution. Values land only in the
+/// metrics snapshot's execution section — simulation logic can never
+/// observe them, so determinism is untouched.
+std::int64_t profile_clock_ns() {
+  // cmap-lint: allow(banned-wallclock) -- PDES stall-attribution timing; feeds only the non-deterministic execution section
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+constexpr std::size_t log2_bin(std::uint64_t span) {
+  return span <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(span)) - 1;
+}
+
+}  // namespace
 
 PdesEngine::PdesEngine(Simulator& global, int partitions, int threads)
     : global_(global), crew_(threads) {
@@ -21,6 +41,7 @@ PdesEngine::PdesEngine(Simulator& global, int partitions, int threads)
   // everywhere: one scheduling group, which is conservative (serial) and
   // therefore always sound.
   dmin_.assign(parts_.size() * parts_.size(), 0);
+  stats_.busy_ns.assign(parts_.size(), 0);
   rebuild_groups();
 }
 
@@ -128,6 +149,12 @@ std::uint64_t PdesEngine::messages() const {
   return total;
 }
 
+std::uint64_t PdesEngine::mailbox_posted(int partition) const {
+  const Mailbox& mb = *mailboxes_[static_cast<std::size_t>(partition)];
+  const std::lock_guard<std::mutex> lock(mb.mutex);
+  return mb.posted;
+}
+
 void PdesEngine::drain_mailboxes() {
   for (std::size_t p = 0; p < parts_.size(); ++p) {
     Mailbox& mb = *mailboxes_[p];
@@ -148,6 +175,21 @@ void PdesEngine::drain_mailboxes() {
 }
 
 void PdesEngine::run_group(const Group& g, Time window_end) {
+  if (!profiling_) {
+    run_group_events(g, window_end);
+    return;
+  }
+  const std::int64_t t0 = profile_clock_ns();
+  run_group_events(g, window_end);
+  const std::int64_t dt = profile_clock_ns() - t0;
+  // One worker executes the whole group; a merged group's interleave is
+  // charged to its lead member. Distinct groups touch distinct slots, so
+  // concurrent workers never write the same entry.
+  stats_.busy_ns[static_cast<std::size_t>(g.members.front())] +=
+      static_cast<std::uint64_t>(dt > 0 ? dt : 0);
+}
+
+void PdesEngine::run_group_events(const Group& g, Time window_end) {
   if (g.members.size() == 1) {
     const int p = g.members.front();
     const std::shared_ptr<void> token = scope_ ? scope_(p) : nullptr;
@@ -205,6 +247,7 @@ void PdesEngine::run_until(Time until) {
       // run everything due at exactly s alone, then let the owner refresh
       // lookaheads for any motion. Rank-0 ordering in the serial queue
       // sorts the same events first at the same instant.
+      ++stats_.global_barriers;
       const std::shared_ptr<void> token = scope_ ? scope_(-1) : nullptr;
       while (global_.queue().next_time() == s) global_.queue().run_one();
       if (topology_refresh_) topology_refresh_();
@@ -228,14 +271,24 @@ void PdesEngine::run_until(Time until) {
         w = std::min(w, groups_[hi].next + sp);
       }
       window[gi] = w;
-      if (groups_[gi].next < w) batch.push_back(gi);
+      if (groups_[gi].next < w) {
+        batch.push_back(gi);
+        stats_.window_log2[log2_bin(
+            static_cast<std::uint64_t>(w - groups_[gi].next))]++;
+        if (groups_[gi].members.size() > 1) ++stats_.merged_windows;
+      }
     }
     // Merged groups guarantee every cross-group lookahead is >= 1 ns, so
     // the group holding the minimum event always has a non-empty window.
     CMAP_ASSERT(!batch.empty(), "conservative round made no progress");
+    const std::int64_t t0 = profiling_ ? profile_clock_ns() : 0;
     crew_.run(batch.size(), [this, &batch, &window](std::size_t i) {
       run_group(groups_[batch[i]], window[batch[i]]);
     });
+    if (profiling_) {
+      const std::int64_t dt = profile_clock_ns() - t0;
+      stats_.parallel_ns += static_cast<std::uint64_t>(dt > 0 ? dt : 0);
+    }
     drain_mailboxes();
   }
 

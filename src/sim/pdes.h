@@ -51,6 +51,7 @@
 // thread count — gated by tests/scenario/test_pdes_golden.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -74,6 +75,28 @@ struct PdesOptions {
   int threads = 1;
 
   bool operator==(const PdesOptions&) const = default;
+};
+
+/// The engine's execution profile, feeding the metrics snapshot's
+/// *execution* section (metrics/metrics.h) — all of it is a property of
+/// how the run was scheduled, never of the simulation, so nothing here is
+/// covered by the byte-identity contract. Structural counters (barriers,
+/// windows, histogram) accumulate unconditionally; the wall-clock fields
+/// (busy_ns, parallel_ns) stay zero unless enable_profiling() was called,
+/// so the default path never reads a clock.
+struct PdesExecStats {
+  std::uint64_t global_barriers = 0;  // rounds spent running global events
+  std::uint64_t merged_windows = 0;   // windows run by a merged group
+  /// Histogram of conservative window spans (window_end - group.next):
+  /// bin i counts spans with floor(log2(ns)) == i (bin 0 takes span 1 ns).
+  std::array<std::uint64_t, 64> window_log2{};
+  /// Wall time each partition's events were executing. A merged group's
+  /// interleave is charged to its lead (lowest-index) member — the other
+  /// members did not occupy a worker of their own.
+  std::vector<std::uint64_t> busy_ns;
+  /// Total wall time partition windows were live (the parallel phase).
+  /// A partition's barrier wait is parallel_ns minus its busy_ns.
+  std::uint64_t parallel_ns = 0;
 };
 
 class PdesEngine {
@@ -127,6 +150,14 @@ class PdesEngine {
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t messages() const;
 
+  /// Switch on wall-clock stall attribution (per-partition busy time and
+  /// the parallel-phase span). Off by default: the conservative loop then
+  /// never touches a clock.
+  void enable_profiling() { profiling_ = true; }
+  const PdesExecStats& exec_stats() const { return stats_; }
+  /// Lifetime cross-group messages addressed to `partition`.
+  std::uint64_t mailbox_posted(int partition) const;
+
  private:
   struct Group {
     std::vector<int> members;  // ascending partition indices
@@ -151,6 +182,7 @@ class PdesEngine {
   void rebuild_groups();
   void rebuild_closure();
   void run_group(const Group& g, Time window_end);
+  void run_group_events(const Group& g, Time window_end);
   void drain_mailboxes();
 
   Simulator& global_;
@@ -173,6 +205,8 @@ class PdesEngine {
   ScopeFn scope_;
   WorkerCrew crew_;
   std::uint64_t rounds_ = 0;
+  bool profiling_ = false;
+  PdesExecStats stats_;
 };
 
 }  // namespace cmap::sim

@@ -161,6 +161,56 @@ void append_json_u64(std::string& out, std::uint64_t v) {
 
 }  // namespace
 
+metrics::MetricsSnapshot SweepReport::aggregate_metrics() const {
+  std::vector<const metrics::MetricsSnapshot*> snaps;
+  for (const auto& row : rows_) {
+    if (row.profile) snaps.push_back(row.profile.get());
+  }
+  return metrics::aggregate_counters(snaps);
+}
+
+void SweepReport::print_metrics(std::FILE* out) const {
+  for (const auto& g : groups()) {
+    std::vector<const metrics::MetricsSnapshot*> snaps;
+    for (const auto& row : rows_) {
+      if (row.scheme == g.scheme && row.variant == g.variant && row.profile) {
+        snaps.push_back(row.profile.get());
+      }
+    }
+    if (snaps.empty()) continue;
+    std::fprintf(out, "%s (%zu runs)\n", g.label().c_str(), snaps.size());
+    metrics::aggregate_counters(snaps).print_counters(out);
+  }
+  const metrics::MetricsSnapshot total = aggregate_metrics();
+  if (total.domains == 0) return;
+  std::fprintf(out, "total\n");
+  total.print_counters(out);
+}
+
+std::string SweepReport::metrics_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& g : groups()) {
+    std::vector<const metrics::MetricsSnapshot*> snaps;
+    for (const auto& row : rows_) {
+      if (row.scheme == g.scheme && row.variant == g.variant && row.profile) {
+        snaps.push_back(row.profile.get());
+      }
+    }
+    if (snaps.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, g.label());
+    out += ':';
+    out += metrics::aggregate_counters(snaps).counters_json();
+  }
+  if (!first) out += ',';
+  out += "\"total\":";
+  out += aggregate_metrics().counters_json();
+  out += '}';
+  return out;
+}
+
 std::string SweepReport::to_json() const {
   std::string out = "{\"runs\":[";
   bool first_row = true;

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "stats/summary.h"
 
 namespace cmap::stats {
@@ -47,6 +49,11 @@ struct RunRow {
   std::vector<FlowRow> flows;
   /// Scenario-specific named scalars, in a stable order.
   std::vector<std::pair<std::string, double>> metrics;
+  /// The run's full metrics snapshot, when the sweep enabled metrics
+  /// (nullptr otherwise). Deliberately excluded from print_table() and
+  /// to_json(), which stay byte-identical with metrics on or off; emit it
+  /// with print_metrics() / metrics_json().
+  std::shared_ptr<const metrics::MetricsSnapshot> profile;
 
   /// Value of a named metric, or `fallback` when absent.
   double metric(const std::string& name, double fallback = 0.0) const;
@@ -95,6 +102,19 @@ class SweepReport {
   /// Deterministic JSON: identical bytes for identical rows, regardless of
   /// how many threads produced them.
   std::string to_json() const;
+
+  /// Sum/max-merge of the counter sections across every row with a
+  /// profile (empty-domain snapshot when none have one).
+  metrics::MetricsSnapshot aggregate_metrics() const;
+
+  /// The per-sweep aggregated metrics table: one aligned counter line per
+  /// (scheme, variant) group, then the sweep-wide aggregate. Counter rows
+  /// only — deterministic across thread and partition counts.
+  void print_metrics(std::FILE* out = stdout) const;
+
+  /// Deterministic JSON of the aggregated counter sections, keyed by group
+  /// label plus a "total": {"CMAP":{...},...,"total":{...}}.
+  std::string metrics_json() const;
 
  private:
   std::vector<RunRow> rows_;

@@ -1,5 +1,8 @@
 #include "testbed/experiment.h"
 
+#include <cstdio>
+#include <string>
+
 #include "sim/assert.h"
 
 namespace cmap::testbed {
@@ -56,6 +59,12 @@ World::World(const Testbed& tb, const RunConfig& config)
     tracer_ = std::make_unique<trace::Tracer>(*config_.trace);
     medium_.set_tracer(tracer_.get());
   }
+  // Same discipline for the metrics registry: bound before any hook
+  // caches it.
+  if (config_.metrics) {
+    registry_ = std::make_unique<metrics::Registry>(config_.metrics->domains);
+    medium_.set_metrics(registry_.get());
+  }
   if (config_.pdes.partitions > 1) {
     std::vector<phy::Position> positions;
     positions.reserve(static_cast<std::size_t>(tb_.size()));
@@ -87,6 +96,9 @@ World::World(const Testbed& tb, const RunConfig& config)
       return std::make_shared<trace::ScopedActive>(t);
     });
     engine_->set_topology_refresh([this] { refresh_pdes_delays(); });
+    // Stall attribution reads a wall clock; only pay for it when metrics
+    // were asked for.
+    if (registry_ != nullptr) engine_->enable_profiling();
   }
   if (config_.dynamics &&
       (config_.dynamics->mobility || config_.dynamics->channel)) {
@@ -214,6 +226,54 @@ void World::set_measurement_window(sim::Time begin, sim::Time end) {
   for (auto& [id, st] : nodes_) st.sink->set_window(begin, end);
 }
 
+metrics::MetricsSnapshot World::metrics_snapshot() {
+  metrics::MetricsSnapshot snap;
+  if (registry_ == nullptr) return snap;
+  snap.domains = registry_->domains();
+  for (std::size_t i = 0; i < metrics::kCounterCount; ++i) {
+    snap.counters[i] =
+        registry_->value(static_cast<metrics::Counter>(i));
+  }
+  snap.threads = config_.pdes.threads;
+  if (engine_ == nullptr) {
+    snap.partitions = 1;
+    snap.queue_depth_high_water = sim_.queue().depth_high_water();
+    snap.queue_compactions = sim_.queue().compactions();
+    metrics::PartitionExec pe;
+    pe.partition = 0;
+    pe.executed = sim_.queue().executed();
+    snap.parts.push_back(pe);
+    return snap;
+  }
+  snap.partitions = engine_->partitions();
+  snap.queue_depth_high_water = sim_.queue().depth_high_water();
+  snap.queue_compactions = sim_.queue().compactions();
+  const sim::PdesExecStats& es = engine_->exec_stats();
+  snap.rounds = engine_->rounds();
+  snap.global_barriers = es.global_barriers;
+  snap.merged_windows = es.merged_windows;
+  snap.window_log2 = es.window_log2;
+  snap.parallel_wall_ms = static_cast<double>(es.parallel_ns) / 1e6;
+  for (int p = 0; p < engine_->partitions(); ++p) {
+    sim::EventQueue& q = engine_->partition_sim(p).queue();
+    if (q.depth_high_water() > snap.queue_depth_high_water) {
+      snap.queue_depth_high_water = q.depth_high_water();
+    }
+    snap.queue_compactions += q.compactions();
+    metrics::PartitionExec pe;
+    pe.partition = p;
+    pe.executed = q.executed();
+    pe.mailbox_posted = engine_->mailbox_posted(p);
+    pe.busy_ms =
+        static_cast<double>(es.busy_ns[static_cast<std::size_t>(p)]) / 1e6;
+    pe.barrier_wait_ms = snap.parallel_wall_ms > pe.busy_ms
+                             ? snap.parallel_wall_ms - pe.busy_ms
+                             : 0.0;
+    snap.parts.push_back(pe);
+  }
+  return snap;
+}
+
 mac::Mac& World::mac(phy::NodeId id) { return *nodes_.at(id).mac; }
 net::PacketSink& World::sink(phy::NodeId id) { return *nodes_.at(id).sink; }
 phy::Radio& World::radio(phy::NodeId id) { return *nodes_.at(id).radio; }
@@ -253,6 +313,19 @@ RunResult run_flows(const Testbed& tb, const std::vector<Flow>& flows,
     }
     result.flows.push_back(fr);
     result.aggregate_mbps += fr.mbps;
+  }
+  if (config.metrics) {
+    auto snap = std::make_shared<metrics::MetricsSnapshot>(
+        world.metrics_snapshot());
+    if (!config.metrics->path.empty()) {
+      if (std::FILE* f = std::fopen(config.metrics->path.c_str(), "w")) {
+        const std::string json = snap->to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
+    result.profile = std::move(snap);
   }
   return result;
 }

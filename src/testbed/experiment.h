@@ -12,6 +12,7 @@
 #include "core/cmap_mac.h"
 #include "dynamics/dynamics.h"
 #include "mac80211/dcf.h"
+#include "metrics/metrics.h"
 #include "net/traffic.h"
 #include "phy/medium.h"
 #include "phy/partition.h"
@@ -77,6 +78,13 @@ struct RunConfig {
   // partition additionally gets its own stream at `path + ".p<N>"`
   // (trace::merge_streams reassembles one time-ordered file).
   std::optional<trace::TraceConfig> trace;
+  // Run-level metrics (metrics/metrics.h): when set, the World owns a
+  // counter Registry every subsystem hooks into, and — under PDES — the
+  // engine records stall attribution. Like tracing, metrics never draw
+  // randomness or schedule events, so a metered run's results are
+  // identical to an unmetered one's; the counter section is additionally
+  // byte-identical across partition and thread counts.
+  std::optional<metrics::MetricsConfig> metrics;
   // Intra-run parallel execution (sim/pdes.h, docs/pdes.md). partitions <=
   // 1 keeps the single-queue serial path — the reference oracle PDES runs
   // are golden-tested byte-identical against. Results never depend on
@@ -117,6 +125,10 @@ struct RunConfig {
   }
   RunConfig& with_trace(trace::TraceConfig v) {
     trace = std::move(v);
+    return *this;
+  }
+  RunConfig& with_metrics(metrics::MetricsConfig v) {
+    metrics = std::move(v);
     return *this;
   }
   RunConfig& with_pdes(sim::PdesOptions v) { pdes = v; return *this; }
@@ -164,6 +176,13 @@ class World {
   /// The run's tracer, when config().trace is set (else nullptr). Tests
   /// use it to mark stream positions (records_written) mid-run.
   trace::Tracer* tracer() const { return tracer_.get(); }
+  /// The run's metrics registry, when config().metrics is set (else
+  /// nullptr).
+  metrics::Registry* metrics() const { return registry_.get(); }
+  /// Assemble the full snapshot: the registry's counter section plus the
+  /// execution profile (queue depths, PDES stall attribution). Meaningful
+  /// any time, but normally taken after run().
+  metrics::MetricsSnapshot metrics_snapshot();
 
  private:
   struct NodeState {
@@ -188,6 +207,9 @@ class World {
   // Owns the trace stream; bound into medium_ before any node or dynamics
   // instrumentation binds its hook (they cache the tracer pointer).
   std::unique_ptr<trace::Tracer> tracer_;
+  // Owns the run's counter registry; bound into medium_ alongside the
+  // tracer, before any hook caches it.
+  std::unique_ptr<metrics::Registry> registry_;
   // PDES state (empty/null on the serial path). Declared before medium_
   // (which routes deliveries through the engine) and nodes_ (whose radios
   // live on the engine's partition simulators).
@@ -226,6 +248,9 @@ struct FlowResult {
 struct RunResult {
   std::vector<FlowResult> flows;
   double aggregate_mbps = 0.0;
+  /// Set when config.metrics was: the run's full metrics snapshot.
+  /// shared_ptr so results stay cheap to copy around report assembly.
+  std::shared_ptr<const metrics::MetricsSnapshot> profile;
 };
 
 /// Run saturated unicast flows under one scheme and report per-flow and

@@ -1,5 +1,8 @@
 #include "trace/reader.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
 
 namespace cmap::trace {
@@ -285,6 +288,200 @@ std::vector<std::uint32_t> DeferTableReplay::nodes() const {
   out.reserve(tables_.size());
   for (const auto& [node, table] : tables_) out.push_back(node);
   return out;
+}
+
+void OngoingReplay::apply(const Record& r) {
+  if (r.category != Category::kOngoing) return;
+  const auto& o = std::get<OngoingRecord>(r.body);
+  auto& list = lists_[o.node];
+  const Key key{o.src, o.dst};
+  switch (o.op) {
+    case OngoingOp::kNote:
+    case OngoingOp::kUpdate:
+      list[key] = o.end_time;
+      break;
+    case OngoingOp::kExpire:
+      // Reclamation only drops entries whose end time already passed;
+      // liveness is decided by end_time alone (see class comment).
+      break;
+  }
+}
+
+std::vector<OngoingReplay::Entry> OngoingReplay::live(std::uint32_t node,
+                                                      sim::Time at) const {
+  std::vector<Entry> out;
+  const auto it = lists_.find(node);
+  if (it == lists_.end()) return out;
+  for (const auto& [key, end_time] : it->second) {
+    // Exclusive boundary, matching OngoingList: at == end_time is dead.
+    if (end_time <= at) continue;
+    out.push_back(Entry{key.first, key.second, end_time});
+  }
+  return out;  // std::map iteration == canonical (src, dst) order
+}
+
+std::vector<std::uint32_t> OngoingReplay::nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(lists_.size());
+  for (const auto& [node, list] : lists_) out.push_back(node);
+  return out;
+}
+
+namespace {
+
+const char* defer_reason_name(DeferReason r) {
+  switch (r) {
+    case DeferReason::kNone: return "none";
+    case DeferReason::kDstBusy: return "dst_busy";
+    case DeferReason::kConflictMap: return "conflict_map";
+  }
+  return "?";
+}
+
+const char* table_op_name(DeferTableOp op) {
+  switch (op) {
+    case DeferTableOp::kInsert: return "insert";
+    case DeferTableOp::kRefresh: return "refresh";
+    case DeferTableOp::kExpire: return "expire";
+  }
+  return "?";
+}
+
+const char* ongoing_op_name(OngoingOp op) {
+  switch (op) {
+    case OngoingOp::kNote: return "note";
+    case OngoingOp::kUpdate: return "update";
+    case OngoingOp::kExpire: return "expire";
+  }
+  return "?";
+}
+
+const char* collision_reason_name(CollisionReason r) {
+  switch (r) {
+    case CollisionReason::kPreambleSinr: return "preamble_sinr";
+    case CollisionReason::kCaptured: return "captured";
+    case CollisionReason::kLocalTx: return "local_tx";
+  }
+  return "?";
+}
+
+void appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+// "*" for the broadcast wildcard id in defer-table patterns.
+std::string id_or_star(std::uint32_t id) {
+  if (id == 0xffffffffu) return "*";
+  return std::to_string(id);
+}
+
+}  // namespace
+
+std::string describe(const Record& r) {
+  std::string out;
+  appendf(&out, "%" PRId64 " %s", r.tick, category_name(r.category));
+  switch (r.category) {
+    case Category::kPhyTx: {
+      const auto& b = std::get<PhyTxRecord>(r.body);
+      appendf(&out, " node=%u frame=%" PRIu64 " rate=%u bytes=%u dur=%" PRId64,
+              b.node, b.frame_id, b.rate, b.bytes, b.duration);
+      break;
+    }
+    case Category::kPhyRx: {
+      const auto& b = std::get<PhyRxRecord>(r.body);
+      appendf(&out, " node=%u frame=%" PRIu64 " from=%u ok=%d min_sinr=%.2fdB",
+              b.node, b.frame_id, b.tx_node, b.ok ? 1 : 0,
+              b.min_sinr_cdb / 100.0);
+      break;
+    }
+    case Category::kPhyCollision: {
+      const auto& b = std::get<PhyCollisionRecord>(r.body);
+      appendf(&out, " node=%u frame=%" PRIu64 " reason=%s", b.node, b.frame_id,
+              collision_reason_name(b.reason));
+      break;
+    }
+    case Category::kMacDefer: {
+      const auto& b = std::get<MacDeferRecord>(r.body);
+      appendf(&out, " node=%u dst=%u decision=%s", b.node, b.dst,
+              b.deferred ? "defer" : "send");
+      if (b.deferred) {
+        appendf(&out, " reason=%s blocker=%u->%u until=%" PRId64,
+                defer_reason_name(b.reason), b.blocker_src, b.blocker_dst,
+                b.until);
+      }
+      break;
+    }
+    case Category::kDeferTable: {
+      const auto& b = std::get<DeferTableRecord>(r.body);
+      appendf(&out,
+              " node=%u op=%s pattern=(%s: %s->%s) rates=%u/%u"
+              " expires=%" PRId64,
+              b.node, table_op_name(b.op), id_or_star(b.dst).c_str(),
+              id_or_star(b.src).c_str(), id_or_star(b.via).c_str(), b.my_rate,
+              b.their_rate, b.expires);
+      break;
+    }
+    case Category::kOngoing: {
+      const auto& b = std::get<OngoingRecord>(r.body);
+      appendf(&out, " node=%u op=%s tx=%u->%u end=%" PRId64, b.node,
+              ongoing_op_name(b.op), b.src, b.dst, b.end_time);
+      break;
+    }
+    case Category::kMove: {
+      const auto& b = std::get<MoveRecord>(r.body);
+      appendf(&out, " node=%u x=%.3fm y=%.3fm", b.node, b.x_mm / 1000.0,
+              b.y_mm / 1000.0);
+      break;
+    }
+    case Category::kChannelEpoch: {
+      const auto& b = std::get<ChannelEpochRecord>(r.body);
+      appendf(&out, " epoch=%" PRIu64, b.epoch);
+      break;
+    }
+    case Category::kLog: {
+      const auto& b = std::get<LogRecord>(r.body);
+      appendf(&out, " level=%u [%s] %s", b.level, b.component.c_str(),
+              b.message.c_str());
+      break;
+    }
+    case Category::kCount:
+      break;
+  }
+  return out;
+}
+
+Divergence first_divergence(TraceReader& a, TraceReader& b) {
+  Divergence d;
+  for (std::uint64_t i = 0;; ++i) {
+    Record ra, rb;
+    const bool have_a = a.next(&ra);
+    const bool have_b = b.next(&rb);
+    d.index = i;  // on a clean non-divergence this ends as the record count
+    if (!have_a && !have_b) return d;  // both ended together: no divergence
+    if (have_a != have_b) {
+      d.diverged = true;
+      d.a_ended = !have_a;
+      d.b_ended = !have_b;
+      if (have_a) d.a = ra;
+      if (have_b) d.b = rb;
+      return d;
+    }
+    const bool same = ra.tick == rb.tick && ra.category == rb.category &&
+                      a.raw_size() == b.raw_size() &&
+                      std::equal(a.raw_body(), a.raw_body() + a.raw_size(),
+                                 b.raw_body());
+    if (!same) {
+      d.diverged = true;
+      d.a = ra;
+      d.b = rb;
+      return d;
+    }
+  }
 }
 
 }  // namespace cmap::trace

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -176,5 +177,60 @@ class DeferTableReplay {
                          std::uint32_t, std::uint32_t>;
   std::map<std::uint32_t, std::map<Key, sim::Time>> tables_;
 };
+
+/// Reconstructs each node's OngoingList from a stream of kOngoing records,
+/// the same way DeferTableReplay reconstructs defer tables. note/update
+/// set the (src, dst) pair's announced end time; expire records need no
+/// replay action — the list only reclaims entries whose end time already
+/// passed, and liveness here is decided by end_time alone (an entry is
+/// live strictly before its end time, OngoingList's exclusive boundary).
+///
+/// Requires the trace to carry kOngoing unsampled (sample_every == 1).
+class OngoingReplay {
+ public:
+  struct Entry {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    sim::Time end_time = 0;
+  };
+
+  /// Apply one decoded record; records of other categories are ignored.
+  void apply(const Record& r);
+
+  /// Entries of `node`'s list live at time `at` (end_time > at), sorted by
+  /// (src, dst) — a canonical order so two reconstructions compare with ==.
+  std::vector<Entry> live(std::uint32_t node, sim::Time at) const;
+
+  /// Every node id that appeared in an ongoing record, sorted.
+  std::vector<std::uint32_t> nodes() const;
+
+ private:
+  using Key = std::pair<std::uint32_t, std::uint32_t>;  // (src, dst)
+  std::map<std::uint32_t, std::map<Key, sim::Time>> lists_;
+};
+
+/// One-line human description of a decoded record — "<tick> <category>
+/// field=value ..." — shared by trace_dump, trace_diff, and their tests.
+std::string describe(const Record& r);
+
+/// Where two streams first disagree (tools/trace_diff). Streams are
+/// aligned record-by-record and compared on (tick, category, payload
+/// bytes); the payload comparison is exact, so any field difference —
+/// including ones describe() rounds — registers.
+struct Divergence {
+  bool diverged = false;    // false: streams are byte-equivalent
+  /// 0-based record index of the first difference; when !diverged, the
+  /// number of records compared.
+  std::uint64_t index = 0;
+  bool a_ended = false;     // stream A stopped (EOF or decode error) first
+  bool b_ended = false;
+  Record a;                 // the differing record; valid when !a_ended
+  Record b;                 // valid when !b_ended
+};
+
+/// Align two readers and report the first divergence. Headers are not
+/// compared (streams recorded with different category masks can still be
+/// record-identical); decode errors surface through each reader's error().
+Divergence first_divergence(TraceReader& a, TraceReader& b);
 
 }  // namespace cmap::trace

@@ -6,7 +6,7 @@ JSONs with a trailing "timing"-scheme row each) against the committed
 baseline, and optionally checks the fast-path speedup ratios from a Google
 Benchmark JSON produced by bench_micro.
 
-Seven timing rows are gated today, matched by scenario name across however
+Eight timing rows are gated today, matched by scenario name across however
 many --pr files are given:
   dense_grid_bench       (bench_dense_grid)      — simulation hot path
   testbed_measure_bench  (bench_testbed_measure) — measurement pass; its
@@ -26,6 +26,12 @@ many --pr files are given:
       categories disabled vs untraced, both timed in the same process) is
       enforced as a fixed maximum of 1.02: disabled instrumentation must
       stay within 2% of free.
+  metrics_bench          (bench_metrics)         — metrics-subsystem cost;
+      its metrics_overhead_off metric (CPU time with a counter Registry
+      attached but all domains disabled vs unmetered, both timed in the
+      same process) is enforced under the same fixed 1.02 maximum as the
+      trace gate, for the same reason: a disabled instrumentation site is
+      one branch on a cached mask.
   metro_bench            (bench_metro)           — sparse link-state memory
       at the 10,000-node metro scale; its metro_sparse_peak_rss_mb metric
       (process peak RSS taken before any dense-store work runs) is
@@ -88,22 +94,30 @@ FIXED_MIN_KEYS = {"cache_hit": 1.0, "decisions_match": 1.0,
 # attached but every category disabled vs the same sweep untraced — the
 # trace subsystem's bounded-overhead guarantee (each disabled site is one
 # branch on a cached mask) that makes it safe to leave compiled in.
+# metrics_overhead_off is the identical guarantee for the metrics
+# subsystem (bench_metrics): a sweep with a counter Registry attached but
+# every domain disabled vs the same sweep unmetered, bounded the same way
+# because each disabled instrumentation site is one branch on a
+# MetricsHook's cached mask.
 # metro_sparse_peak_rss_mb is bench_metro's process peak RSS after the
 # sparse 10k-node build + sweep and before any dense work: the sparse
 # stores measure ~21 MB while the dense pair matrices alone would be
 # ~1.6 GB, so 256 MB is ~12x headroom for allocator noise yet an order of
 # magnitude below what any re-densified layer would cost.
 FIXED_MAX_KEYS = {"trace_overhead_off": 1.02,
+                  "metrics_overhead_off": 1.02,
                   "metro_sparse_peak_rss_mb": 256.0}
 # Reported, never gated: non-timing diagnostics, plus the reference
 # oracles' runtimes — they exist only as denominators of the gated speedup
 # ratios, and their ~1 s baselines sit close enough to MIN_GATED_MS that
 # normalized-runtime gating would flake on shared runners without guarding
-# anything the speedup gates do not. The trace bench's raw mode timings
-# exist only as terms of the gated trace_overhead_off ratio.
+# anything the speedup gates do not. The trace and metrics benches' raw
+# mode timings exist only as terms of their gated *_overhead_off ratios.
 INFO_KEYS = {"max_abs_delta_prr", "table_entries", "decide_reference_cpu_ms",
              "move_reference_cpu_ms", "trace_untraced_cpu_ms",
              "trace_disabled_cpu_ms", "trace_enabled_cpu_ms",
+             "metrics_unmetered_cpu_ms", "metrics_disabled_cpu_ms",
+             "metrics_enabled_cpu_ms",
              # bench_pdes: terms of the info-only pdes_speedup /
              # dispatch_speedup ratios. The PDES wall timings run worker
              # threads, so wall clock on a shared runner is scheduler noise

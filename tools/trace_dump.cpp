@@ -1,12 +1,14 @@
 // trace_dump: decode a .cmtrace binary event stream (docs/trace_format.md)
 // to human-readable text or JSON lines, or replay the conflict-map
-// evolution it records (--replay-defer-table) to reconstruct any node's
-// DeferTable at a chosen tick. Decode errors exit 1 with a message;
-// truncated traces never dump silently-partial output without saying so.
+// evolution it records (--replay-defer-table / --replay-ongoing) to
+// reconstruct any node's DeferTable or OngoingList at a chosen tick.
+// Decode errors exit 1 with a message; truncated traces never dump
+// silently-partial output without saying so.
 //
 // Usage:
 //   trace_dump FILE [--json] [--category NAME]... [--limit N]
 //   trace_dump FILE --replay-defer-table --tick T_NS [--node ID]
+//   trace_dump FILE --replay-ongoing --tick T_NS [--node ID]
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -235,9 +237,10 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s FILE [--json] [--category NAME]... [--limit N]\n"
                "       %s FILE --replay-defer-table --tick T_NS [--node ID]\n"
+               "       %s FILE --replay-ongoing --tick T_NS [--node ID]\n"
                "categories: phy_tx phy_rx phy_collision mac_defer"
                " defer_table ongoing move channel_epoch log\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -247,6 +250,7 @@ int main(int argc, char** argv) {
   std::string path;
   bool json = false;
   bool replay = false;
+  bool replay_ongoing = false;
   bool have_tick = false;
   bool have_node = false;
   long long tick = 0;
@@ -260,6 +264,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--replay-defer-table") {
       replay = true;
+    } else if (arg == "--replay-ongoing") {
+      replay_ongoing = true;
     } else if (arg == "--tick" && i + 1 < argc) {
       tick = std::atoll(argv[++i]);
       have_tick = true;
@@ -292,8 +298,14 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(argv[0]);
-  if (replay && !have_tick) {
-    std::fprintf(stderr, "--replay-defer-table requires --tick\n");
+  if (replay && replay_ongoing) {
+    std::fprintf(stderr,
+                 "--replay-defer-table and --replay-ongoing are exclusive\n");
+    return usage(argv[0]);
+  }
+  if ((replay || replay_ongoing) && !have_tick) {
+    std::fprintf(stderr, "%s requires --tick\n",
+                 replay ? "--replay-defer-table" : "--replay-ongoing");
     return usage(argv[0]);
   }
 
@@ -350,6 +362,56 @@ int main(int argc, char** argv) {
                     id_or_star(e.dst).c_str(), id_or_star(e.src).c_str(),
                     id_or_star(e.via).c_str(), e.my_rate, e.their_rate,
                     e.expires);
+      }
+    }
+    return 0;
+  }
+
+  if (replay_ongoing) {
+    // Replay semantics mirror --replay-defer-table: apply every note/update
+    // with record tick <= T; the reported set is each transmission whose
+    // announced end time is still ahead of T (OngoingList's exclusive
+    // end-time boundary).
+    if ((reader.categories() &
+         cmap::trace::bit(cmap::trace::Category::kOngoing)) == 0) {
+      std::fprintf(stderr,
+                   "%s: trace was recorded without the ongoing category; "
+                   "nothing to replay\n",
+                   path.c_str());
+      return 1;
+    }
+    if (reader.sample_every().size() >
+            static_cast<std::size_t>(cmap::trace::Category::kOngoing) &&
+        reader.sample_every()[static_cast<std::size_t>(
+            cmap::trace::Category::kOngoing)] != 1) {
+      std::fprintf(stderr,
+                   "%s: ongoing records were sampled (every-%u); a decimated "
+                   "mutation stream cannot be replayed\n",
+                   path.c_str(),
+                   reader.sample_every()[static_cast<std::size_t>(
+                       cmap::trace::Category::kOngoing)]);
+      return 1;
+    }
+    cmap::trace::OngoingReplay replayer;
+    cmap::trace::Record r;
+    while (reader.next(&r)) {
+      if (r.tick > tick) break;
+      replayer.apply(r);
+    }
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), reader.error().c_str());
+      return 1;
+    }
+    std::vector<std::uint32_t> ids =
+        have_node ? std::vector<std::uint32_t>{
+                        static_cast<std::uint32_t>(node)}
+                  : replayer.nodes();
+    for (std::uint32_t id : ids) {
+      const auto entries = replayer.live(id, tick);
+      std::printf("node %u: %zu ongoing transmissions at tick %lld\n", id,
+                  entries.size(), tick);
+      for (const auto& e : entries) {
+        std::printf("  tx=%u->%u end=%" PRId64 "\n", e.src, e.dst, e.end_time);
       }
     }
     return 0;
